@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  The helpers here render the reproduced
+rows/series to stdout (run pytest with ``-s`` to see them) so the output can
+be compared side-by-side with the paper, and EXPERIMENTS.md records the
+comparison.
+"""
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Print an aligned text table."""
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))

@@ -1,0 +1,76 @@
+"""E2 — Figure 4: executed instruction count and runtime, vector vs matrix.
+
+For square GEMMs of dimension 32 / 64 / 128, compares (a) the dynamic
+instruction counts of the vector-engine kernel and the VEGETA tile
+kernel, and (b) their simulated runtimes on the cycle-approximate CPU model.
+The paper reports both ratios in the tens and growing with the GEMM size.
+
+For this motivational figure the matrix engine runs at the core clock (the
+0.5 GHz constraint only applies to the Section VI design points).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.params import MachineParams, default_machine
+from repro.cpu.simulator import CycleApproximateSimulator
+from repro.core.engine import get_engine
+from repro.kernels.gemm import build_dense_gemm_kernel
+from repro.kernels.vector import build_vector_gemm_kernel
+from repro.types import GemmShape
+from .conftest import print_table
+
+DIMENSIONS = (32, 64, 128)
+
+
+def _fast_engine_machine() -> MachineParams:
+    core = dataclasses.replace(default_machine().core, matrix_engine_frequency_ghz=2.0)
+    return MachineParams(core=core)
+
+
+def _run_comparison():
+    machine = _fast_engine_machine()
+    engine = get_engine("VEGETA-D-1-2")
+    rows = []
+    for dimension in DIMENSIONS:
+        shape = GemmShape(dimension, dimension, dimension)
+        vector_program = build_vector_gemm_kernel(shape)
+        matrix_program = build_dense_gemm_kernel(shape)
+        vector_result = CycleApproximateSimulator(machine=machine).run(vector_program.trace)
+        matrix_result = CycleApproximateSimulator(machine=machine, engine=engine).run(
+            matrix_program.trace
+        )
+        rows.append(
+            {
+                "dimension": dimension,
+                "instruction_ratio": vector_program.instruction_count
+                / matrix_program.instruction_count,
+                "runtime_ratio": vector_result.core_cycles / matrix_result.core_cycles,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_vector_vs_matrix(benchmark):
+    rows = benchmark.pedantic(_run_comparison, rounds=1, iterations=1)
+
+    print_table(
+        "Figure 4: vector-over-matrix ratios",
+        ["GEMM dim", "instruction ratio", "runtime ratio"],
+        [
+            [row["dimension"], f"{row['instruction_ratio']:.1f}", f"{row['runtime_ratio']:.1f}"]
+            for row in rows
+        ],
+    )
+
+    # Both ratios are large and grow with the GEMM dimension (the paper
+    # reports roughly 20-60x); the vector engine needs one to two orders of
+    # magnitude more dynamic instructions.
+    instruction_ratios = [row["instruction_ratio"] for row in rows]
+    runtime_ratios = [row["runtime_ratio"] for row in rows]
+    assert instruction_ratios == sorted(instruction_ratios)
+    assert all(10 < ratio < 150 for ratio in instruction_ratios)
+    assert all(ratio > 3 for ratio in runtime_ratios)
+    assert runtime_ratios[-1] > runtime_ratios[0]

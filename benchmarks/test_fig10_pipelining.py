@@ -1,0 +1,48 @@
+"""E10 — Figure 10: pipelining and output forwarding on the engine pipeline.
+
+Regenerates the four scenarios of Figure 10: independent instructions on
+VEGETA-D-1-2 and VEGETA-S-16-2 (both sustain one instruction per 16 cycles),
+and accumulator-dependent instructions on VEGETA-S-16-2 without and with
+output forwarding (forwarding cuts the stall).
+"""
+
+import pytest
+
+from repro.core.engine import get_engine
+from repro.core.pipeline import dependent_chain_interval, steady_state_issue_interval
+from .conftest import print_table
+
+
+def _measure():
+    dense = get_engine("VEGETA-D-1-2")
+    sparse = get_engine("VEGETA-S-16-2")
+    return {
+        "independent_d_1_2": steady_state_issue_interval(dense, depth=16),
+        "independent_s_16_2": steady_state_issue_interval(sparse, depth=16),
+        "dependent_no_of": dependent_chain_interval(sparse, depth=16),
+        "dependent_with_of": dependent_chain_interval(
+            sparse.with_output_forwarding(), depth=16
+        ),
+    }
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_pipelining(benchmark):
+    intervals = benchmark.pedantic(_measure, rounds=3, iterations=1)
+
+    print_table(
+        "Figure 10: steady-state cycles between tile instructions",
+        ["scenario", "cycles/instruction"],
+        [[name, f"{value:.1f}"] for name, value in intervals.items()],
+    )
+
+    # (a)/(b): both engines sustain one independent instruction per 16 cycles.
+    assert intervals["independent_d_1_2"] == pytest.approx(16)
+    assert intervals["independent_s_16_2"] == pytest.approx(16)
+    # (c)/(d): output forwarding shortens the dependent-chain interval.
+    assert intervals["dependent_with_of"] < intervals["dependent_no_of"]
+    # Without forwarding each link waits out the producer's FF+FS+DR+reduction
+    # (only the weight load overlaps), i.e. well beyond the pipelined interval.
+    engine = get_engine("VEGETA-S-16-2")
+    expected_stall = engine.instruction_latency - engine.weight_load_latency
+    assert intervals["dependent_no_of"] == pytest.approx(expected_stall, abs=1)

@@ -1,0 +1,34 @@
+"""E8 — Table I: sparsity-granularity support of VEGETA vs prior work."""
+
+import pytest
+
+from repro.baselines.catalog import table1
+from repro.types import SparsityGranularity
+from .conftest import print_table
+
+COLUMNS = (
+    SparsityGranularity.NETWORK_WISE,
+    SparsityGranularity.LAYER_WISE,
+    SparsityGranularity.TILE_WISE,
+    SparsityGranularity.ROW_WISE,
+)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_granularity_support(benchmark):
+    rows = benchmark.pedantic(table1, rounds=3, iterations=1)
+
+    print_table(
+        "Table I: supported sparsity granularity",
+        ["design"] + [column.value for column in COLUMNS],
+        [
+            [row.name] + ["yes" if row.supports(column) else "no" for column in COLUMNS]
+            for row in rows
+        ],
+    )
+
+    by_name = {row.name: row for row in rows}
+    assert by_name["VEGETA"].supports(SparsityGranularity.ROW_WISE)
+    assert not by_name["NVIDIA STC"].supports(SparsityGranularity.LAYER_WISE)
+    assert not by_name["S2TA"].supports(SparsityGranularity.ROW_WISE)
+    assert by_name["S2TA"].supports(SparsityGranularity.TILE_WISE)

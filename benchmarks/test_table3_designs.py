@@ -1,0 +1,56 @@
+"""E3 — Table III: the VEGETA-D / VEGETA-S engine design space."""
+
+import pytest
+
+from repro.core.engine import catalog
+from .conftest import print_table
+
+EXPECTED = {
+    "VEGETA-D-1-1": (32, 16, 1, 1, 1, 16),
+    "VEGETA-D-1-2": (16, 16, 2, 2, 1, 16),
+    "VEGETA-D-16-1": (32, 1, 16, 1, 16, 1),
+    "VEGETA-S-1-2": (16, 16, 2, 8, 1, 16),
+    "VEGETA-S-2-2": (16, 8, 4, 8, 2, 8),
+    "VEGETA-S-4-2": (16, 4, 8, 8, 4, 4),
+    "VEGETA-S-8-2": (16, 2, 16, 8, 8, 2),
+    "VEGETA-S-16-2": (16, 1, 32, 8, 16, 2),
+}
+
+
+def _build_table():
+    return [engine.describe() for engine in catalog().values()]
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_design_space(benchmark):
+    rows = benchmark.pedantic(_build_table, rounds=3, iterations=1)
+
+    print_table(
+        "Table III: engine design points",
+        ["engine", "Nrows", "Ncols", "MACs/PE", "inputs/PE", "alpha", "drain", "sparsity"],
+        [
+            [
+                row["name"],
+                row["nrows"],
+                row["ncols"],
+                row["macs_per_pe"],
+                row["inputs_per_pe"],
+                row["broadcast_factor"],
+                row["drain_latency"],
+                ",".join(row["supported_sparsity"]),
+            ]
+            for row in rows
+        ],
+    )
+
+    for row in rows:
+        expected = EXPECTED[row["name"]]
+        measured = (
+            row["nrows"],
+            row["ncols"],
+            row["macs_per_pe"],
+            row["inputs_per_pe"],
+            row["broadcast_factor"],
+            row["drain_latency"],
+        )
+        assert measured == expected, row["name"]

@@ -1,0 +1,24 @@
+"""E9 — Table IV: DNN layer dimensions and MAC counts."""
+
+import pytest
+
+from repro.workloads.layers import TABLE_IV_MACS, all_layers
+from .conftest import print_table
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_layers(benchmark):
+    layers = benchmark.pedantic(all_layers, rounds=3, iterations=1)
+
+    print_table(
+        "Table IV: evaluated DNN layers (as GEMMs)",
+        ["layer", "M", "N", "K", "MACs"],
+        [
+            [layer.name, layer.gemm.m, layer.gemm.n, layer.gemm.k, f"{layer.macs:,}"]
+            for layer in layers
+        ],
+    )
+
+    assert len(layers) == 12
+    for layer in layers:
+        assert layer.macs == TABLE_IV_MACS[layer.name]

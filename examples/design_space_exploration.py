@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Design-space exploration across the Table III VEGETA engine variants.
+
+For one Transformer layer (BERT-L2) with 2:4 sparse weights, this example
+sweeps every engine configuration of Table III (plus the STC-like baseline
+and output forwarding), simulates the layer, and prints runtime together with
+the analytical area / power / frequency estimates — the performance-area
+trade-off the paper's Section VI-C/VI-D discusses.
+
+Run with:  python examples/design_space_exploration.py
+"""
+
+from repro import CycleApproximateSimulator, SparsityPattern
+from repro.analysis.area_power import estimate
+from repro.analysis.runtime import FIGURE13_ENGINE_NAMES, resolve_engine
+from repro.kernels import build_dense_gemm_kernel, build_spmm_kernel
+from repro.workloads import get_layer
+
+
+def main() -> None:
+    layer = get_layer("BERT-L2")
+    pattern = SparsityPattern.SPARSE_2_4
+    print(f"{layer.name}: GEMM {layer.gemm.m}x{layer.gemm.n}x{layer.gemm.k}, weights {pattern.value} sparse\n")
+    print(f"{'engine':<18}{'cycles':>14}{'speed-up':>10}{'norm.area':>11}{'norm.power':>12}{'fmax(GHz)':>11}")
+
+    baseline_cycles = None
+    for name in FIGURE13_ENGINE_NAMES:
+        engine = resolve_engine(name)
+        executed = engine.executable_pattern(pattern)
+        if executed is SparsityPattern.DENSE_4_4:
+            program = build_dense_gemm_kernel(layer.gemm, max_output_tiles=4)
+        else:
+            program = build_spmm_kernel(layer.gemm, executed, max_output_tiles=4)
+        result = CycleApproximateSimulator(engine=engine).run(program.trace)
+        cycles = result.core_cycles / program.simulated_fraction
+        if baseline_cycles is None:
+            baseline_cycles = cycles
+        cost = estimate(engine.with_output_forwarding(False)) if engine.output_forwarding else estimate(engine)
+        print(
+            f"{name:<18}{cycles:>14,.0f}{baseline_cycles / cycles:>9.2f}x"
+            f"{cost.area_normalized:>11.3f}{cost.power_normalized:>12.3f}{cost.frequency_ghz:>11.2f}"
+        )
+
+    print("\n(cycles are steady-state samples scaled to the full layer; area/power are")
+    print(" normalised to RASA-SM; every design meets the 0.5 GHz evaluation clock)")
+
+
+if __name__ == "__main__":
+    main()

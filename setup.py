@@ -1,0 +1,10 @@
+"""Setup shim so `python setup.py develop` works in offline environments.
+
+All project metadata lives in pyproject.toml; this file only exists because
+the environment has no `wheel` package, which modern editable installs via
+pip require.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,218 @@
+"""Sparsity-granularity speed-up model (Figure 15, Section VI-E).
+
+The paper accelerates *unstructured* sparse layers by covering them with
+row-wise N:4 sparsity (Section III-D) and compares, analytically, the
+speed-up different hardware granularities can extract from the same random
+sparse matrices:
+
+* **dense** (RASA-like) — cannot skip anything, speed-up 1x,
+* **layer-wise** (S2TA-like) — one N:4 pattern must cover every non-zero of
+  the whole layer, which for random sparsity almost always forces 4:4,
+* **tile-wise** (enhanced S2TA) — one pattern per 16 x 64 effective tile,
+* **pseudo row-wise** (VEGETA-S without DMA reordering) — per-row patterns,
+  but only *adjacent* rows with the same pattern can share an SPE column,
+* **row-wise** (VEGETA-S with reordering) — per-row patterns with rows
+  regrouped so packing is near-perfect,
+* **unstructured** (SIGMA-like, area-normalised) — skips every zero but pays
+  a large area premium, so its per-area speed-up only wins at extreme
+  sparsity.
+
+Speed-ups are compute-bound ratios of dense work to covered work, exactly the
+quantity the paper's roofline comparison reports for compute-bound layers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SparsityError
+from ..sparse.blocks import block_nnz
+from ..types import BLOCK_SIZE_M, SparsityPattern
+from ..workloads.generator import generate_unstructured, scaled_problem
+from ..workloads.layers import WorkloadLayer, all_layers
+
+#: Effective tile geometry used for the granularity analysis (16 x 64, i.e.
+#: the effective footprint of one TILE_SPMM_R / TILE_SPMM_U group).
+TILE_ROWS_G = 16
+TILE_COLS_G = 64
+
+#: Area premium of a SIGMA-like fully flexible sparse engine relative to the
+#: dense systolic baseline, used to area-normalise its speed-up.
+SIGMA_AREA_FACTOR = 4.5
+
+#: Display names matching the Figure 15 legend.
+GRANULARITY_LABELS = {
+    "dense": "Dense (RASA-like)",
+    "layer_wise": "Layer-wise (S2TA-like)",
+    "tile_wise": "Tile-wise (Enhanced S2TA)",
+    "pseudo_row_wise": "Pseudo row-wise (VEGETA-S without reordering)",
+    "row_wise": "Row-wise (VEGETA-S with reordering)",
+    "unstructured": "Unstructured (Enhanced SIGMA, area-normalized)",
+}
+
+
+def _pattern_share(n: int) -> float:
+    """Fraction of an SPE column one row with covering pattern N:4 occupies."""
+    if n <= 1:
+        return 0.25
+    if n <= 2:
+        return 0.5
+    return 1.0
+
+
+def _covering_n(max_block_nnz: int) -> int:
+    """Smallest supported N (1, 2, 4) covering a maximum per-block count."""
+    if max_block_nnz <= 1:
+        return 1
+    if max_block_nnz <= 2:
+        return 2
+    return 4
+
+
+def _iter_tiles(matrix: np.ndarray) -> Iterable[np.ndarray]:
+    """Yield 16 x 64 tiles of the matrix (padded implicitly by skipping rest)."""
+    rows, cols = matrix.shape
+    for row in range(0, rows, TILE_ROWS_G):
+        for col in range(0, cols, TILE_COLS_G):
+            yield matrix[row : row + TILE_ROWS_G, col : col + TILE_COLS_G]
+
+
+def _pad_cols(matrix: np.ndarray) -> np.ndarray:
+    """Pad columns with zeros to a multiple of the block size."""
+    cols = matrix.shape[1]
+    remainder = cols % BLOCK_SIZE_M
+    if remainder == 0:
+        return matrix
+    return np.pad(matrix, ((0, 0), (0, BLOCK_SIZE_M - remainder)))
+
+
+def layer_wise_speedup(matrix: np.ndarray) -> float:
+    """Speed-up when one N:4 pattern must cover the whole matrix."""
+    matrix = _pad_cols(np.asarray(matrix))
+    n = _covering_n(int(block_nnz(matrix).max(initial=0)))
+    return BLOCK_SIZE_M / n
+
+
+def tile_wise_speedup(matrix: np.ndarray) -> float:
+    """Speed-up when each 16 x 64 tile picks its own covering N:4 pattern."""
+    matrix = _pad_cols(np.asarray(matrix))
+    dense_work = 0.0
+    covered_work = 0.0
+    for tile in _iter_tiles(matrix):
+        rows = tile.shape[0]
+        n = _covering_n(int(block_nnz(_pad_cols(tile)).max(initial=0)))
+        dense_work += rows
+        covered_work += rows * n / BLOCK_SIZE_M
+    return dense_work / covered_work if covered_work else 1.0
+
+
+def _row_shares(tile: np.ndarray) -> List[float]:
+    """Per-row SPE-column shares of one tile under row-wise covering."""
+    padded = _pad_cols(tile)
+    per_block = block_nnz(padded)
+    return [_pattern_share(_covering_n(int(row.max(initial=0)))) for row in per_block]
+
+
+def row_wise_speedup(matrix: np.ndarray, *, reorder: bool = True) -> float:
+    """Speed-up of the row-wise covering, with or without the DMA reorder.
+
+    With reordering, rows of equal pattern are grouped before packing into SPE
+    columns; without it only adjacent equal-pattern rows can share a column
+    (the pseudo row-wise restriction).
+    """
+    matrix = np.asarray(matrix)
+    dense_columns = 0.0
+    packed_columns = 0.0
+    for tile in _iter_tiles(matrix):
+        shares = _row_shares(tile)
+        dense_columns += len(shares)
+        if reorder:
+            # With the DMA reorder, groups of equal-pattern rows pack
+            # perfectly across instruction groups (HA can stretch to 32 rows
+            # and leftover fractions amortise over the layer), so the column
+            # cost is the fractional sum of the per-row shares — this is the
+            # paper's Ncols = N4:4 + N2:4/2 + N1:4/4 applied layer-wide.
+            packed_columns += sum(shares)
+        else:
+            run_share: Optional[float] = None
+            run_length = 0
+            for share in shares + [None]:
+                if share == run_share:
+                    run_length += 1
+                    continue
+                if run_share is not None:
+                    packed_columns += math.ceil(run_length * run_share)
+                run_share = share
+                run_length = 1
+    return dense_columns / packed_columns if packed_columns else 1.0
+
+
+def unstructured_speedup(matrix: np.ndarray, *, area_factor: float = SIGMA_AREA_FACTOR) -> float:
+    """Area-normalised speed-up of a fully flexible (SIGMA-like) sparse engine."""
+    matrix = np.asarray(matrix)
+    if matrix.size == 0:
+        raise SparsityError("cannot analyse an empty matrix")
+    density = np.count_nonzero(matrix) / matrix.size
+    if density == 0:
+        density = 1.0 / matrix.size
+    return (1.0 / density) / area_factor
+
+
+def granularity_speedups(matrix: np.ndarray) -> Dict[str, float]:
+    """Speed-up of every granularity class for one unstructured sparse matrix."""
+    return {
+        "dense": 1.0,
+        "layer_wise": layer_wise_speedup(matrix),
+        "tile_wise": tile_wise_speedup(matrix),
+        "pseudo_row_wise": row_wise_speedup(matrix, reorder=False),
+        "row_wise": row_wise_speedup(matrix, reorder=True),
+        "unstructured": unstructured_speedup(matrix),
+    }
+
+
+@dataclass(frozen=True)
+class Figure15Point:
+    """Average speed-ups across the workload suite at one sparsity degree."""
+
+    sparsity_degree: float
+    speedups: Dict[str, float]
+
+
+def figure15_series(
+    degrees: Sequence[float],
+    *,
+    layers: Optional[Sequence[WorkloadLayer]] = None,
+    seed: int = 0,
+    max_weight_elements: int = 1 << 18,
+) -> List[Figure15Point]:
+    """Average granularity speed-ups over the Table IV workloads.
+
+    Weight matrices are scaled down proportionally (``max_weight_elements``)
+    so the sweep stays tractable; the speed-up ratios are insensitive to the
+    absolute matrix size because the statistics are per-block/per-row.
+    """
+    chosen = list(layers) if layers is not None else all_layers()
+    points: List[Figure15Point] = []
+    for degree in degrees:
+        totals: Dict[str, float] = {}
+        for index, layer in enumerate(chosen):
+            shape = scaled_problem(layer.gemm, max_elements=max_weight_elements)
+            operands = generate_unstructured(shape, degree, seed=seed + index)
+            speedups = granularity_speedups(operands.a)
+            for key, value in speedups.items():
+                totals[key] = totals.get(key, 0.0) + value
+        averaged = {key: value / len(chosen) for key, value in totals.items()}
+        points.append(Figure15Point(sparsity_degree=degree, speedups=averaged))
+    return points
+
+
+def headline_unstructured_speedup(
+    sparsity_degree: float = 0.95, *, seed: int = 0
+) -> float:
+    """The abstract's unstructured-sparsity headline (3.28x at 95 %)."""
+    points = figure15_series([sparsity_degree], seed=seed)
+    return points[0].speedups["row_wise"]

@@ -1,0 +1,80 @@
+"""Closed-form instruction-count model: vector vs matrix engines (Figure 4).
+
+Figure 4 reports, for square GEMMs of dimension 32 / 64 / 128, how many more
+dynamic instructions (and how much more runtime) a vector-engine kernel needs
+compared with a matrix-engine kernel.  The instruction counts here are
+closed-form mirrors of what the kernel generators emit, so the ratios can be
+produced without materialising multi-hundred-thousand-instruction traces; the
+runtime ratios come from simulating both kernels on the cycle-approximate
+model (see ``benchmarks/test_fig04_vector_vs_matrix.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..kernels.gemm import K_LOOP_BRANCHES, K_LOOP_SCALARS, TILE_LOOP_BRANCHES, TILE_LOOP_SCALARS
+from ..kernels.tiling import TileGrid
+from ..kernels.vector import vector_instruction_estimate
+from ..types import GemmShape, SparsityPattern
+
+
+def matrix_instruction_estimate(
+    shape: GemmShape, pattern: SparsityPattern = SparsityPattern.DENSE_4_4
+) -> int:
+    """Dynamic instruction count of the optimised tile kernel.
+
+    Counted from the kernel generator itself (trace-only build) so the model
+    stays consistent with what the simulator executes, including the 2x2 /
+    2x1 register blocking of the optimised kernels.
+    """
+    from ..kernels.gemm import build_dense_gemm_kernel
+    from ..kernels.spmm import build_spmm_kernel
+
+    if pattern is SparsityPattern.DENSE_4_4:
+        program = build_dense_gemm_kernel(shape)
+    else:
+        program = build_spmm_kernel(shape, pattern)
+    return program.instruction_count
+
+
+@dataclass(frozen=True)
+class Figure4Point:
+    """Instruction-count comparison for one square GEMM dimension."""
+
+    dimension: int
+    vector_instructions: int
+    matrix_instructions: int
+
+    @property
+    def instruction_ratio(self) -> float:
+        """Executed-instruction ratio, vector over matrix (Figure 4 left axis)."""
+        return self.vector_instructions / self.matrix_instructions
+
+
+def figure4_instruction_counts(
+    dimensions: Sequence[int] = (32, 64, 128)
+) -> List[Figure4Point]:
+    """Instruction-count ratios for the Figure 4 GEMM sizes."""
+    points = []
+    for dimension in dimensions:
+        shape = GemmShape(m=dimension, n=dimension, k=dimension)
+        points.append(
+            Figure4Point(
+                dimension=dimension,
+                vector_instructions=vector_instruction_estimate(shape),
+                matrix_instructions=matrix_instruction_estimate(shape),
+            )
+        )
+    return points
+
+
+def instruction_ratio_table(
+    dimensions: Sequence[int] = (32, 64, 128)
+) -> Dict[int, float]:
+    """Dimension -> vector/matrix instruction ratio."""
+    return {
+        point.dimension: point.instruction_ratio
+        for point in figure4_instruction_counts(dimensions)
+    }

@@ -1,0 +1,226 @@
+"""Figure 13 orchestration: layer runtimes across engines and sparsity patterns.
+
+This module glues the pieces together the way the paper's evaluation flow
+does: pick a Table IV layer and a weight sparsity pattern, generate the
+matching kernel (dense ``TILE_GEMM`` for engines that cannot exploit the
+pattern, ``TILE_SPMM_U/V`` otherwise), simulate it on the cycle-approximate
+CPU model with the chosen engine, and report runtime.
+
+Because the Table IV layers contain up to ~800 M MACs, the kernels are traced
+for a configurable number of output tiles and the measured runtime is scaled
+back up by the covered fraction; the kernels are perfectly periodic across
+output tiles, so the extrapolation only ignores the final pipeline drain
+(negligible at these sizes).  EXPERIMENTS.md documents this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.engine import EngineConfig, catalog, get_engine, stc_like_engine
+from ..cpu.params import MachineParams, default_machine
+from ..cpu.simulator import CycleApproximateSimulator, SimulationResult
+from ..errors import ConfigurationError
+from ..kernels.gemm import build_dense_gemm_kernel
+from ..kernels.program import KernelProgram
+from ..kernels.spmm import build_spmm_kernel
+from ..types import GemmShape, SparsityPattern
+from ..workloads.layers import WorkloadLayer, all_layers
+
+#: Output tiles traced per simulation before scaling (steady-state sampling).
+DEFAULT_MAX_OUTPUT_TILES = 2
+
+#: Engines reported in Figure 13, in plot order.
+FIGURE13_ENGINE_NAMES = (
+    "VEGETA-D-1-1",
+    "VEGETA-D-1-2",
+    "VEGETA-D-16-1",
+    "STC-like",
+    "VEGETA-S-1-2",
+    "VEGETA-S-2-2",
+    "VEGETA-S-4-2",
+    "VEGETA-S-8-2",
+    "VEGETA-S-16-2",
+    "VEGETA-S-16-2+OF",
+)
+
+
+def resolve_engine(name: str) -> EngineConfig:
+    """Resolve a Figure 13 engine name, including the STC-like and +OF variants."""
+    if name.upper() == "STC-LIKE":
+        return stc_like_engine()
+    if name.upper().endswith("+OF"):
+        return get_engine(name[: -len("+OF")]).with_output_forwarding(True)
+    return get_engine(name)
+
+
+def build_layer_kernel(
+    layer: WorkloadLayer,
+    pattern: SparsityPattern,
+    engine: EngineConfig,
+    *,
+    max_output_tiles: Optional[int] = DEFAULT_MAX_OUTPUT_TILES,
+) -> KernelProgram:
+    """Build the kernel the given engine would run for this layer/pattern.
+
+    The engine's :meth:`EngineConfig.executable_pattern` decides how much of
+    the weight sparsity it can actually exploit: dense engines always run the
+    dense kernel, the STC-like engine runs 1:4 weights with its 2:4 path, and
+    full VEGETA-S engines exploit the pattern natively.
+    """
+    executed = engine.executable_pattern(pattern)
+    shape = layer.gemm
+    if executed is SparsityPattern.DENSE_4_4:
+        return build_dense_gemm_kernel(shape, max_output_tiles=max_output_tiles)
+    return build_spmm_kernel(shape, executed, max_output_tiles=max_output_tiles)
+
+
+@dataclass(frozen=True)
+class LayerRuntime:
+    """Runtime of one (layer, pattern, engine) combination."""
+
+    layer: str
+    pattern: SparsityPattern
+    engine: str
+    core_cycles_scaled: float
+    simulated_fraction: float
+    result: SimulationResult
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Scaled wall-clock runtime at the core frequency."""
+        return self.core_cycles_scaled / (
+            self.result.machine.core.frequency_ghz * 1e9
+        )
+
+
+def simulate_layer(
+    layer: WorkloadLayer,
+    pattern: SparsityPattern,
+    engine: EngineConfig,
+    *,
+    machine: Optional[MachineParams] = None,
+    max_output_tiles: Optional[int] = DEFAULT_MAX_OUTPUT_TILES,
+) -> LayerRuntime:
+    """Simulate one layer on one engine under one weight-sparsity pattern."""
+    machine = machine if machine is not None else default_machine()
+    program = build_layer_kernel(
+        layer, pattern, engine, max_output_tiles=max_output_tiles
+    )
+    simulator = CycleApproximateSimulator(machine=machine, engine=engine)
+    result = simulator.run(program.trace)
+    scaled = result.core_cycles / program.simulated_fraction
+    return LayerRuntime(
+        layer=layer.name,
+        pattern=pattern,
+        engine=engine.name,
+        core_cycles_scaled=scaled,
+        simulated_fraction=program.simulated_fraction,
+        result=result,
+    )
+
+
+def figure13_experiment(
+    *,
+    layers: Optional[Sequence[WorkloadLayer]] = None,
+    engine_names: Sequence[str] = FIGURE13_ENGINE_NAMES,
+    patterns: Sequence[SparsityPattern] = (
+        SparsityPattern.DENSE_4_4,
+        SparsityPattern.SPARSE_2_4,
+        SparsityPattern.SPARSE_1_4,
+    ),
+    machine: Optional[MachineParams] = None,
+    max_output_tiles: Optional[int] = DEFAULT_MAX_OUTPUT_TILES,
+) -> List[LayerRuntime]:
+    """Run the full Figure 13 sweep and return every measured point."""
+    chosen_layers = list(layers) if layers is not None else all_layers()
+    results: List[LayerRuntime] = []
+    for layer in chosen_layers:
+        for pattern in patterns:
+            for name in engine_names:
+                engine = resolve_engine(name)
+                results.append(
+                    simulate_layer(
+                        layer,
+                        pattern,
+                        engine,
+                        machine=machine,
+                        max_output_tiles=max_output_tiles,
+                    )
+                )
+    return results
+
+
+def normalized_runtimes(results: Sequence[LayerRuntime]) -> Dict[str, float]:
+    """Normalise runtimes by the slowest point, as Figure 13 does."""
+    if not results:
+        raise ConfigurationError("no results to normalise")
+    longest = max(result.core_cycles_scaled for result in results)
+    return {
+        f"{result.layer}/{result.pattern.value}/{result.engine}": result.core_cycles_scaled
+        / longest
+        for result in results
+    }
+
+
+def average_speedup(
+    results: Sequence[LayerRuntime],
+    *,
+    baseline_engine: str,
+    target_engine: str,
+    pattern: SparsityPattern,
+) -> float:
+    """Geometric-mean speed-up of one engine over a baseline for one pattern."""
+    by_key: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        if result.pattern is not pattern:
+            continue
+        by_key.setdefault(result.layer, {})[result.engine] = result.core_cycles_scaled
+    ratios = []
+    for layer, engines in by_key.items():
+        if baseline_engine in engines and target_engine in engines:
+            ratios.append(engines[baseline_engine] / engines[target_engine])
+    if not ratios:
+        raise ConfigurationError(
+            f"no overlapping measurements for {baseline_engine} vs {target_engine}"
+        )
+    product = 1.0
+    for ratio in ratios:
+        product *= ratio
+    return product ** (1.0 / len(ratios))
+
+
+def headline_speedups(
+    *,
+    layers: Optional[Sequence[WorkloadLayer]] = None,
+    machine: Optional[MachineParams] = None,
+    max_output_tiles: Optional[int] = DEFAULT_MAX_OUTPUT_TILES,
+    baseline: str = "VEGETA-D-1-2",
+    target: str = "VEGETA-S-16-2+OF",
+) -> Dict[str, float]:
+    """The abstract's structured-sparsity headline speed-ups.
+
+    Paper values: 1.09x (4:4), 2.20x (2:4) and 3.74x (1:4) for the best
+    VEGETA-S engine with output forwarding over the state-of-the-art dense
+    engine (RASA-DM).
+    """
+    patterns = (
+        SparsityPattern.DENSE_4_4,
+        SparsityPattern.SPARSE_2_4,
+        SparsityPattern.SPARSE_1_4,
+    )
+    results = figure13_experiment(
+        layers=layers,
+        engine_names=(baseline, target),
+        patterns=patterns,
+        machine=machine,
+        max_output_tiles=max_output_tiles,
+    )
+    return {
+        pattern.value: average_speedup(
+            results, baseline_engine=baseline, target_engine=resolve_engine(target).name,
+            pattern=pattern,
+        )
+        for pattern in patterns
+    }

@@ -1,0 +1,113 @@
+"""Prior-work baselines and the Table I sparsity-granularity support matrix.
+
+Two kinds of baselines appear in the paper:
+
+* **matrix-engine design points** that map directly onto Table III
+  configurations (RASA-SM / RASA-DM / Intel TMUL / NVIDIA STC), exposed here
+  as named :class:`~repro.core.engine.EngineConfig` factories so the runtime
+  experiments can request them by their prior-work names, and
+* **granularity classes** used in the Figure 15 comparison (STA, S2TA,
+  SIGMA), which we summarise through the Table I support matrix and the
+  analytical granularity model of :mod:`repro.analysis.granularity`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+from ..core.engine import EngineConfig, get_engine, stc_like_engine
+from ..errors import ConfigurationError
+from ..types import SparsityGranularity
+
+
+@dataclass(frozen=True)
+class GranularitySupport:
+    """One row of Table I: which sparsity granularities a design supports."""
+
+    name: str
+    supported: FrozenSet[SparsityGranularity]
+    notes: str = ""
+
+    def supports(self, granularity: SparsityGranularity) -> bool:
+        """True if the design handles the given granularity."""
+        return granularity in self.supported
+
+
+#: Table I of the paper.  S2TA's tile-wise support is an extension the paper
+#: grants it for the comparison ("they do not claim they support tile-wise,
+#: but it can be extended").
+TABLE_I: Dict[str, GranularitySupport] = {
+    "NVIDIA STC": GranularitySupport(
+        name="NVIDIA STC",
+        supported=frozenset({SparsityGranularity.NETWORK_WISE}),
+        notes="2:4 only, fixed for the whole network",
+    ),
+    "STA": GranularitySupport(
+        name="STA",
+        supported=frozenset(
+            {SparsityGranularity.NETWORK_WISE, SparsityGranularity.LAYER_WISE}
+        ),
+        notes="density-bound block sparsity per layer",
+    ),
+    "S2TA": GranularitySupport(
+        name="S2TA",
+        supported=frozenset(
+            {
+                SparsityGranularity.NETWORK_WISE,
+                SparsityGranularity.LAYER_WISE,
+                SparsityGranularity.TILE_WISE,
+            }
+        ),
+        notes="tile-wise granted as a natural extension",
+    ),
+    "VEGETA": GranularitySupport(
+        name="VEGETA",
+        supported=frozenset(
+            {
+                SparsityGranularity.NETWORK_WISE,
+                SparsityGranularity.LAYER_WISE,
+                SparsityGranularity.TILE_WISE,
+                SparsityGranularity.ROW_WISE,
+            }
+        ),
+        notes="this work",
+    ),
+}
+
+
+def table1() -> List[GranularitySupport]:
+    """Table I rows in paper order."""
+    return [TABLE_I[name] for name in ("NVIDIA STC", "STA", "S2TA", "VEGETA")]
+
+
+#: Prior-work matrix engines expressed as Table III configurations.
+_PRIOR_WORK_ENGINES = {
+    "RASA-SM": "VEGETA-D-1-1",
+    "RASA-DM": "VEGETA-D-1-2",
+    "TMUL": "VEGETA-D-16-1",
+}
+
+
+def prior_work_engine(name: str) -> EngineConfig:
+    """Resolve a prior-work engine name (RASA-SM/DM, TMUL, STC) to a config."""
+    key = name.upper().replace("_", "-")
+    if key in ("STC", "NVIDIA-STC", "STC-LIKE"):
+        return stc_like_engine()
+    if key in _PRIOR_WORK_ENGINES:
+        return get_engine(_PRIOR_WORK_ENGINES[key])
+    raise ConfigurationError(
+        f"unknown prior-work engine {name!r}; known: "
+        f"{', '.join(sorted(list(_PRIOR_WORK_ENGINES) + ['STC']))}"
+    )
+
+
+def sota_dense_engine() -> EngineConfig:
+    """The state-of-the-art dense matrix engine the abstract compares against."""
+    return prior_work_engine("RASA-DM")
+
+
+def best_vegeta_engine(output_forwarding: bool = True) -> EngineConfig:
+    """The best-performing VEGETA-S configuration (Section VI-C)."""
+    engine = get_engine("VEGETA-S-16-2")
+    return engine.with_output_forwarding(True) if output_forwarding else engine

@@ -1,0 +1,391 @@
+"""Structural model of VEGETA matrix engines (Section V, Table III).
+
+A VEGETA engine is a 2-D array of ``Nrows x Ncols`` processing elements
+(PEs).  Each PE groups ``alpha`` processing units (PUs) that share westward
+inputs (the broadcast factor), and each PU contains ``beta`` MAC units that
+cooperate on one output element (the reduction factor).  All configurations
+studied in the paper keep the total MAC count at 512 (matching a 32x16
+baseline systolic array), so the engines trade latency, area and frequency
+rather than peak throughput:
+
+* ``Nrows = 32 / beta`` because 32 effectual MACs feed every output element,
+* ``Ncols = 512 / (Nrows * alpha * beta)``.
+
+Sparse engines (VEGETA-S) add a 4:1 input-selector mux and a metadata buffer
+per MAC and receive whole input *blocks* (4 elements) instead of single
+elements, which is what lets them skip zero weights for 1:4 / 2:4 / 4:4 and
+row-wise N:4 tiles.
+
+The eight named configurations of Table III are exposed through
+:func:`catalog` / :func:`get_engine`; custom configurations can be built
+directly with :class:`EngineConfig`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..types import (
+    BLOCK_SIZE_M,
+    MACS_PER_OUTPUT_ELEMENT,
+    SparsityPattern,
+    TILE_FP32_COLS,
+)
+
+#: Total MAC units in every engine studied in the paper (32 x 16 baseline).
+TOTAL_MAC_UNITS = 512
+
+#: Number of columns in an input/output tile, which sets the Feed-First length.
+TILE_N = TILE_FP32_COLS  # 16
+
+#: All N:4 patterns a fully flexible VEGETA-S engine supports.
+ALL_NM_PATTERNS: FrozenSet[SparsityPattern] = frozenset(
+    {
+        SparsityPattern.DENSE_4_4,
+        SparsityPattern.SPARSE_2_4,
+        SparsityPattern.SPARSE_1_4,
+    }
+)
+
+#: The only pattern a dense engine can execute natively.
+DENSE_ONLY: FrozenSet[SparsityPattern] = frozenset({SparsityPattern.DENSE_4_4})
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One matrix-engine design point.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"VEGETA-S-2-2"``.
+    sparse:
+        True for VEGETA-S engines (sparsity-aware SPEs), False for VEGETA-D.
+    alpha:
+        Broadcast factor — PUs per PE sharing westward inputs.
+    beta:
+        Reduction factor — MAC units per PU cooperating on one output.
+    total_macs:
+        Total MAC units (512 for every paper configuration).
+    supported_patterns:
+        The N:4 patterns the engine can execute natively.  Dense engines
+        support only 4:4; the STC-like baseline restricts a sparse engine to
+        {4:4, 2:4}.
+    output_forwarding:
+        Whether the engine implements the output-forwarding bypass of
+        Section V-C (resolves accumulator dependences early).
+    prior_work:
+        The prior-work design this configuration models, if any (Table III).
+    """
+
+    name: str
+    sparse: bool
+    alpha: int
+    beta: int
+    total_macs: int = TOTAL_MAC_UNITS
+    supported_patterns: FrozenSet[SparsityPattern] = field(default=None)  # type: ignore[assignment]
+    output_forwarding: bool = False
+    prior_work: str = ""
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ConfigurationError(
+                f"alpha/beta must be positive, got alpha={self.alpha}, beta={self.beta}"
+            )
+        if MACS_PER_OUTPUT_ELEMENT % self.beta != 0:
+            raise ConfigurationError(
+                f"beta={self.beta} must divide the {MACS_PER_OUTPUT_ELEMENT} "
+                "effectual MACs per output element"
+            )
+        nrows = MACS_PER_OUTPUT_ELEMENT // self.beta
+        per_column_macs = nrows * self.alpha * self.beta
+        if self.total_macs % per_column_macs != 0:
+            raise ConfigurationError(
+                f"total_macs={self.total_macs} is not a whole number of PE columns "
+                f"({per_column_macs} MACs per column)"
+            )
+        if self.supported_patterns is None:
+            patterns = ALL_NM_PATTERNS if self.sparse else DENSE_ONLY
+            object.__setattr__(self, "supported_patterns", patterns)
+        else:
+            object.__setattr__(
+                self, "supported_patterns", frozenset(self.supported_patterns)
+            )
+        if SparsityPattern.DENSE_4_4 not in self.supported_patterns:
+            raise ConfigurationError("every engine must at least run dense 4:4 tiles")
+        if not self.sparse and self.supported_patterns != DENSE_ONLY:
+            raise ConfigurationError(
+                "a dense engine cannot claim support for sparse patterns"
+            )
+
+    # -- structural derivations --------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        """Rows of PEs: effectual MACs per output element divided by beta."""
+        return MACS_PER_OUTPUT_ELEMENT // self.beta
+
+    @property
+    def ncols(self) -> int:
+        """Columns of PEs such that the total MAC budget is met."""
+        return self.total_macs // (self.nrows * self.alpha * self.beta)
+
+    @property
+    def macs_per_pe(self) -> int:
+        """MAC units per PE (alpha x beta), as listed in Table III."""
+        return self.alpha * self.beta
+
+    @property
+    def num_pes(self) -> int:
+        """Total number of PEs in the array."""
+        return self.nrows * self.ncols
+
+    @property
+    def num_pus(self) -> int:
+        """Total number of PUs in the array."""
+        return self.num_pes * self.alpha
+
+    @property
+    def inputs_per_pe(self) -> int:
+        """Input elements received per PE per cycle (Table III).
+
+        Sparse PEs receive ``beta`` whole blocks of M elements so the
+        input-selector muxes can pick the operand matching each non-zero
+        weight; dense PEs receive ``beta`` individual elements.
+        """
+        return self.beta * (BLOCK_SIZE_M if self.sparse else 1)
+
+    @property
+    def reduction_latency(self) -> int:
+        """Pipeline depth of the adder tree below each PU column (log2 beta)."""
+        return int(math.log2(self.beta)) if self.beta > 1 else 0
+
+    @property
+    def drain_latency(self) -> int:
+        """Cycles of the DR stage (Table III's "Drain Latency" column)."""
+        return max(self.ncols, self.reduction_latency + 1)
+
+    @property
+    def weight_load_latency(self) -> int:
+        """Cycles of the WL stage: one row of stationary weights per cycle."""
+        return self.nrows
+
+    @property
+    def feed_first_latency(self) -> int:
+        """Cycles of the FF stage: the Tn columns of the input tile."""
+        return TILE_N
+
+    @property
+    def feed_second_latency(self) -> int:
+        """Cycles of the FS stage: the skew across the remaining PE rows."""
+        return self.nrows - 1
+
+    @property
+    def issue_interval(self) -> int:
+        """Minimum cycles between pipelined independent tile instructions.
+
+        No two in-flight instructions may occupy the same stage (Section
+        V-C), so the initiation interval is the longest stage latency: 16
+        cycles for the balanced beta=2 designs, but 32 for the beta=1 designs
+        whose weight-load stage spans all 32 PE rows — the stage mismatch
+        that makes RASA-SM the slowest point in Figure 13.
+        """
+        return max(
+            self.weight_load_latency,
+            self.feed_first_latency,
+            self.feed_second_latency,
+            self.drain_latency,
+        )
+
+    @property
+    def instruction_latency(self) -> int:
+        """Unpipelined latency of one tile instruction (WL + FF + FS + DR + red.)."""
+        return (
+            self.weight_load_latency
+            + self.feed_first_latency
+            + self.feed_second_latency
+            + self.drain_latency
+            + self.reduction_latency
+        )
+
+    @property
+    def output_ready_latency(self) -> int:
+        """Cycles from reading a C element to its updated value being written.
+
+        Section V-C: every output element is produced ``Nrows + log2(beta)``
+        cycles after it is fed, and the write-back order matches the read
+        order, so with output forwarding a dependent instruction can start
+        reading C ``2 * Nrows + log2(beta)`` cycles after this one began its
+        feed stage.
+        """
+        return 2 * self.nrows + self.reduction_latency
+
+    # -- capability queries ----------------------------------------------------------
+
+    def supports_pattern(self, pattern: SparsityPattern) -> bool:
+        """True if the engine natively executes tiles with this pattern."""
+        if pattern is SparsityPattern.ROW_WISE:
+            return self.supports_rowwise
+        return pattern in self.supported_patterns
+
+    @property
+    def supports_rowwise(self) -> bool:
+        """True if the engine executes ``TILE_SPMM_R`` (needs full N:4 support)."""
+        return self.sparse and ALL_NM_PATTERNS <= self.supported_patterns
+
+    def executable_pattern(self, pattern: SparsityPattern) -> SparsityPattern:
+        """The pattern the engine actually runs for a tile pruned to ``pattern``.
+
+        A dense engine runs every tile as 4:4 (it cannot skip zeros); the
+        STC-like engine runs 1:4 tiles as 2:4.  This models the "same
+        performance for 2:4 and 1:4" behaviour of Figure 13's dense and STC
+        bars.
+        """
+        if pattern is SparsityPattern.ROW_WISE:
+            raise ConfigurationError(
+                "use supports_rowwise / the row-wise mapping for row-wise tiles"
+            )
+        if pattern in self.supported_patterns:
+            return pattern
+        if (
+            pattern is SparsityPattern.SPARSE_1_4
+            and SparsityPattern.SPARSE_2_4 in self.supported_patterns
+        ):
+            return SparsityPattern.SPARSE_2_4
+        return SparsityPattern.DENSE_4_4
+
+    def with_output_forwarding(self, enabled: bool = True) -> "EngineConfig":
+        """A copy of this configuration with output forwarding toggled."""
+        return EngineConfig(
+            name=self.name + ("+OF" if enabled and not self.output_forwarding else ""),
+            sparse=self.sparse,
+            alpha=self.alpha,
+            beta=self.beta,
+            total_macs=self.total_macs,
+            supported_patterns=self.supported_patterns,
+            output_forwarding=enabled,
+            prior_work=self.prior_work,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """Table III row for this engine (used by the design-space benchmark)."""
+        return {
+            "name": self.name,
+            "nrows": self.nrows,
+            "ncols": self.ncols,
+            "macs_per_pe": self.macs_per_pe,
+            "inputs_per_pe": self.inputs_per_pe,
+            "broadcast_factor": self.alpha,
+            "drain_latency": self.drain_latency,
+            "supported_sparsity": sorted(
+                pattern.value for pattern in self.supported_patterns
+            ),
+            "prior_work": self.prior_work,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Named configurations of Table III.
+# ---------------------------------------------------------------------------
+
+
+def _build_catalog() -> Dict[str, EngineConfig]:
+    configs = [
+        EngineConfig(
+            name="VEGETA-D-1-1",
+            sparse=False,
+            alpha=1,
+            beta=1,
+            prior_work="Conventional SA / RASA-SM",
+        ),
+        EngineConfig(
+            name="VEGETA-D-1-2",
+            sparse=False,
+            alpha=1,
+            beta=2,
+            prior_work="RASA-DM",
+        ),
+        EngineConfig(
+            name="VEGETA-D-16-1",
+            sparse=False,
+            alpha=16,
+            beta=1,
+            prior_work="Intel TMUL-inspired unit",
+        ),
+        EngineConfig(
+            name="VEGETA-S-1-2",
+            sparse=True,
+            alpha=1,
+            beta=2,
+            prior_work="New design",
+        ),
+        EngineConfig(
+            name="VEGETA-S-2-2",
+            sparse=True,
+            alpha=2,
+            beta=2,
+            prior_work="New design",
+        ),
+        EngineConfig(
+            name="VEGETA-S-4-2",
+            sparse=True,
+            alpha=4,
+            beta=2,
+            prior_work="New design",
+        ),
+        EngineConfig(
+            name="VEGETA-S-8-2",
+            sparse=True,
+            alpha=8,
+            beta=2,
+            prior_work="New design",
+        ),
+        EngineConfig(
+            name="VEGETA-S-16-2",
+            sparse=True,
+            alpha=16,
+            beta=2,
+            prior_work="New design",
+        ),
+    ]
+    return {config.name: config for config in configs}
+
+
+_CATALOG = _build_catalog()
+
+
+def catalog() -> Dict[str, EngineConfig]:
+    """All Table III engine configurations keyed by name."""
+    return dict(_CATALOG)
+
+
+def get_engine(name: str) -> EngineConfig:
+    """Look up a Table III configuration by name (case-insensitive)."""
+    key = name.upper().replace("_", "-")
+    for candidate, config in _CATALOG.items():
+        if candidate.upper() == key:
+            return config
+    raise ConfigurationError(
+        f"unknown engine {name!r}; known engines: {', '.join(sorted(_CATALOG))}"
+    )
+
+
+def stc_like_engine() -> EngineConfig:
+    """The NVIDIA Sparse-Tensor-Core-like baseline.
+
+    Section VI-A models STC as VEGETA-S-1-2 restricted to 2:4 support only,
+    which we express by trimming the supported pattern set.
+    """
+    return EngineConfig(
+        name="STC-like",
+        sparse=True,
+        alpha=1,
+        beta=2,
+        supported_patterns=frozenset(
+            {SparsityPattern.DENSE_4_4, SparsityPattern.SPARSE_2_4}
+        ),
+        prior_work="NVIDIA STC-like config",
+    )

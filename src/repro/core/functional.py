@@ -1,0 +1,275 @@
+"""Functional (timing-free) execution of VEGETA instructions.
+
+The paper validates its kernels with a Pin-based emulator that implements
+the semantics of every instruction in Table II; this module plays that role.
+:class:`FunctionalMachine` executes instruction sequences against a
+:class:`~repro.core.memory_image.ByteMemory` and a
+:class:`~repro.core.registers.TileRegisterFile`, producing numerically
+correct results (BF16-rounded inputs, FP32 accumulation) that the test suite
+compares against numpy reference GEMMs.
+
+Data layout conventions (matching Section IV-B and Listing 1):
+
+* an **A tile** (stationary, possibly sparse) lives in a treg as 16 rows of
+  32 BF16 stored values; sparse tiles additionally use the mreg with the same
+  index for their 2-bit positional metadata;
+* a **B tile** (streamed, dense) is stored *transposed*: logical column ``j``
+  of B occupies logical row ``j`` of the register, so a treg/ureg/vreg holds
+  B^T with shape 16 x (32 / 64 / 128);
+* a **C tile** (accumulator) is 16 x 16 FP32 in a treg
+  (R x 16 in a ureg for ``TILE_SPMM_R``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..sparse import metadata as sparse_metadata
+from ..types import (
+    BLOCK_SIZE_M,
+    DType,
+    SparsityPattern,
+    TILE_BF16_COLS,
+    TILE_FP32_COLS,
+    TILE_ROWS,
+)
+from .isa import Instruction, Opcode
+from .memory_image import ByteMemory
+from .registers import RegisterRef, TileRegisterFile, mreg
+
+
+@dataclass
+class ExecutionStats:
+    """Counts collected while functionally executing a kernel."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    compute: int = 0
+    bytes_loaded: int = 0
+    bytes_stored: int = 0
+    effectual_macs: int = 0
+    by_opcode: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, instruction: Instruction, macs: int = 0) -> None:
+        """Account for one executed instruction."""
+        self.instructions += 1
+        opcode = instruction.opcode
+        self.by_opcode[opcode.value] = self.by_opcode.get(opcode.value, 0) + 1
+        if opcode.is_load:
+            self.loads += 1
+            self.bytes_loaded += opcode.memory_bytes
+        elif opcode.is_store:
+            self.stores += 1
+            self.bytes_stored += opcode.memory_bytes
+        else:
+            self.compute += 1
+            self.effectual_macs += macs
+
+
+class FunctionalMachine:
+    """Executes VEGETA instruction sequences with correct arithmetic."""
+
+    def __init__(self, memory: Optional[ByteMemory] = None) -> None:
+        self.memory = memory if memory is not None else ByteMemory()
+        self.registers = TileRegisterFile()
+        self.stats = ExecutionStats()
+        #: Address each treg was last loaded from (for row-wise metadata lookup).
+        self._treg_load_address: Dict[int, int] = {}
+        #: Row-wise pattern descriptors registered by kernels, keyed by the
+        #: memory address of the compressed A tile they describe.
+        self._rowwise_patterns: Dict[int, Tuple[SparsityPattern, ...]] = {}
+
+    # -- kernel-facing configuration -------------------------------------------
+
+    def register_rowwise_patterns(
+        self, address: int, patterns: Sequence[SparsityPattern]
+    ) -> None:
+        """Associate per-row N:4 patterns with a compressed A tile in memory.
+
+        ``TILE_SPMM_R`` needs to know each row's pattern (the paper stores it
+        as up to 8 extra metadata bytes); kernels register it here when they
+        lay the tile out in memory.
+        """
+        self._rowwise_patterns[address] = tuple(patterns)
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(self, instructions: Iterable[Instruction]) -> ExecutionStats:
+        """Execute a sequence of instructions, returning accumulated stats."""
+        for instruction in instructions:
+            self.step(instruction)
+        return self.stats
+
+    def step(self, instruction: Instruction) -> None:
+        """Execute a single instruction."""
+        opcode = instruction.opcode
+        if opcode.is_load:
+            self._execute_load(instruction)
+            self.stats.record(instruction)
+        elif opcode.is_store:
+            self._execute_store(instruction)
+            self.stats.record(instruction)
+        elif opcode is Opcode.TILE_GEMM:
+            macs = self._execute_gemm(instruction)
+            self.stats.record(instruction, macs)
+        elif opcode is Opcode.TILE_SPMM_U:
+            macs = self._execute_spmm_fixed(instruction, SparsityPattern.SPARSE_2_4)
+            self.stats.record(instruction, macs)
+        elif opcode is Opcode.TILE_SPMM_V:
+            macs = self._execute_spmm_fixed(instruction, SparsityPattern.SPARSE_1_4)
+            self.stats.record(instruction, macs)
+        elif opcode is Opcode.TILE_SPMM_R:
+            macs = self._execute_spmm_rowwise(instruction)
+            self.stats.record(instruction, macs)
+        else:  # pragma: no cover - unreachable with a closed opcode set
+            raise ExecutionError(f"unsupported opcode {opcode!r}")
+
+    # -- loads / stores -----------------------------------------------------------
+
+    def _execute_load(self, instruction: Instruction) -> None:
+        data = self.memory.read(instruction.memory.address, instruction.memory.nbytes)
+        self.registers.write_bytes(instruction.dst, data)
+        if instruction.dst.kind == "treg":
+            self._treg_load_address[instruction.dst.index] = instruction.memory.address
+        elif instruction.dst.kind in ("ureg", "vreg"):
+            for offset, index in enumerate(instruction.dst.backing_tregs()):
+                self._treg_load_address[index] = (
+                    instruction.memory.address + offset * 1024
+                )
+
+    def _execute_store(self, instruction: Instruction) -> None:
+        data = self.registers.read_bytes(instruction.src_a)
+        self.memory.write(instruction.memory.address, data)
+
+    # -- dense GEMM ----------------------------------------------------------------
+
+    def _read_accumulator(self, ref: RegisterRef, rows: int) -> np.ndarray:
+        matrix = self.registers.read_matrix(ref, DType.FP32)
+        return matrix[:rows]
+
+    def _write_accumulator(self, ref: RegisterRef, value: np.ndarray) -> None:
+        full = self.registers.read_matrix(ref, DType.FP32)
+        full[: value.shape[0]] = value
+        self.registers.write_matrix(ref, full, DType.FP32)
+
+    def _execute_gemm(self, instruction: Instruction) -> int:
+        a = self.registers.read_matrix(instruction.src_a, DType.BF16)  # 16 x 32
+        b_t = self.registers.read_matrix(instruction.src_b, DType.BF16)  # 16 x 32 (B^T)
+        c = self._read_accumulator(instruction.dst, TILE_ROWS)  # 16 x 16
+        update = a @ b_t.T
+        self._write_accumulator(instruction.dst, c + update.astype(np.float32))
+        return a.shape[0] * b_t.shape[0] * a.shape[1]
+
+    # -- fixed-pattern SPMM ----------------------------------------------------------
+
+    def _expand_sparse_a(
+        self, a_ref: RegisterRef, pattern: SparsityPattern
+    ) -> np.ndarray:
+        """Decompress the sparse A operand to its effective dense form."""
+        stored = self.registers.read_matrix(a_ref, DType.BF16)  # 16 x 32
+        metadata_bytes = self.registers.read_bytes(mreg(a_ref.index))
+        indices = sparse_metadata.unpack_indices(
+            metadata_bytes, TILE_ROWS, TILE_BF16_COLS
+        )
+        effective_cols = TILE_BF16_COLS * pattern.compression_ratio
+        dense = np.zeros((TILE_ROWS, effective_cols), dtype=np.float32)
+        n = pattern.n
+        blocks = effective_cols // BLOCK_SIZE_M
+        for row in range(TILE_ROWS):
+            for block in range(blocks):
+                base = block * BLOCK_SIZE_M
+                for slot in range(n):
+                    stored_col = block * n + slot
+                    value = stored[row, stored_col]
+                    if value != 0.0:
+                        dense[row, base + int(indices[row, stored_col])] = value
+        return dense
+
+    def _execute_spmm_fixed(
+        self, instruction: Instruction, pattern: SparsityPattern
+    ) -> int:
+        effective_a = self._expand_sparse_a(instruction.src_a, pattern)
+        k_effective = effective_a.shape[1]
+        # B is stored transposed: 16 logical rows of k_effective BF16 values.
+        b_bytes = self.registers.read_bytes(instruction.src_b)
+        raw = np.frombuffer(b_bytes, dtype=np.uint16).astype(np.uint32) << 16
+        b_t = raw.view(np.float32).reshape(TILE_FP32_COLS, k_effective)
+        c = self._read_accumulator(instruction.dst, TILE_ROWS)
+        update = effective_a @ b_t.T
+        self._write_accumulator(instruction.dst, c + update.astype(np.float32))
+        # Effectual MACs: one per stored non-zero per output column.
+        return TILE_ROWS * TILE_BF16_COLS * TILE_FP32_COLS
+
+    # -- row-wise SPMM -------------------------------------------------------------------
+
+    def _execute_spmm_rowwise(self, instruction: Instruction) -> int:
+        a_ref = instruction.src_a
+        load_address = self._treg_load_address.get(a_ref.index)
+        if load_address is None or load_address not in self._rowwise_patterns:
+            raise ExecutionError(
+                "TILE_SPMM_R requires row-wise pattern metadata registered for "
+                "the address the A tile was loaded from"
+            )
+        patterns = self._rowwise_patterns[load_address]
+        stored_flat = self.registers.read_matrix(a_ref, DType.BF16).reshape(-1)
+        metadata_bytes = self.registers.read_bytes(mreg(a_ref.index))
+        indices_flat = sparse_metadata.unpack_indices(
+            metadata_bytes, TILE_ROWS, TILE_BF16_COLS
+        ).reshape(-1)
+        effective_cols = BLOCK_SIZE_M * TILE_FP32_COLS  # 64, per Section IV-B
+        rows = len(patterns)
+        if not 1 <= rows <= 2 * TILE_ROWS:
+            raise ExecutionError(
+                f"TILE_SPMM_R supports 1..{2 * TILE_ROWS} rows, got {rows}"
+            )
+        dense_a = np.zeros((rows, effective_cols), dtype=np.float32)
+        cursor = 0
+        for row, pattern in enumerate(patterns):
+            n = pattern.n
+            stored_per_row = effective_cols // BLOCK_SIZE_M * n
+            if cursor + stored_per_row > stored_flat.size:
+                raise ExecutionError(
+                    "row-wise A tile overflows the 512 stored values of a treg"
+                )
+            for block in range(effective_cols // BLOCK_SIZE_M):
+                base = block * BLOCK_SIZE_M
+                for slot in range(n):
+                    stored_index = cursor + block * n + slot
+                    value = stored_flat[stored_index]
+                    if value != 0.0:
+                        dense_a[row, base + int(indices_flat[stored_index])] = value
+            cursor += stored_per_row
+        # B: 64 x 16, stored transposed in a ureg as 16 x 64.
+        b_bytes = self.registers.read_bytes(instruction.src_b)
+        raw = np.frombuffer(b_bytes, dtype=np.uint16).astype(np.uint32) << 16
+        b_t = raw.view(np.float32).reshape(TILE_FP32_COLS, effective_cols)
+        # C: rows x 16 FP32, packed row-major in the destination ureg.
+        c_full = self.registers.read_matrix(instruction.dst, DType.FP32)
+        c = c_full.reshape(-1, TILE_FP32_COLS)[:rows]
+        update = dense_a @ b_t.T
+        c_new = c + update.astype(np.float32)
+        flat = c_full.reshape(-1, TILE_FP32_COLS)
+        flat[:rows] = c_new
+        self.registers.write_matrix(
+            instruction.dst, flat.reshape(c_full.shape), DType.FP32
+        )
+        return cursor * TILE_FP32_COLS
+
+
+def run_program(
+    instructions: Sequence[Instruction],
+    memory: ByteMemory,
+    rowwise_patterns: Optional[Dict[int, Sequence[SparsityPattern]]] = None,
+) -> FunctionalMachine:
+    """Convenience wrapper: build a machine, execute, return it."""
+    machine = FunctionalMachine(memory)
+    if rowwise_patterns:
+        for address, patterns in rowwise_patterns.items():
+            machine.register_rowwise_patterns(address, patterns)
+    machine.execute(instructions)
+    return machine

@@ -1,0 +1,335 @@
+"""The VEGETA instruction set (Table II of the paper).
+
+Nine instructions are defined on top of the tile / metadata register file:
+
+========================  ===========================================================
+``TILE_LOAD_T``           load 1 KB from memory into a treg
+``TILE_LOAD_U``           load 2 KB from memory into a ureg
+``TILE_LOAD_V``           load 4 KB from memory into a vreg
+``TILE_LOAD_M``           load 128 B of metadata into an mreg
+``TILE_STORE_T``          store 1 KB from a treg to memory
+``TILE_GEMM``             C(treg) += A(treg, dense 4:4)   x B(treg,  16x16 FP32 / 16x32 BF16)
+``TILE_SPMM_U``           C(treg) += A(treg, 2:4 sparse)  x B(ureg, 64x16)
+``TILE_SPMM_V``           C(treg) += A(treg, 1:4 sparse)  x B(vreg, 128x16)
+``TILE_SPMM_R``           C(ureg) += A(treg, row-wise N:4) x B(ureg, 64x16)
+========================  ===========================================================
+
+The paper's Listing 1 does not name the metadata register as an explicit
+operand of the SPMM instructions; a sparse tile in ``treg i`` is implicitly
+paired with ``mreg i``.  We follow that convention: the :class:`Instruction`
+records the implicit metadata register so dependence tracking still sees it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import IsaError
+from ..types import METADATA_REG_BYTES, TILE_REG_BYTES
+from .registers import RegisterRef, mreg
+
+
+class Opcode(enum.Enum):
+    """VEGETA opcodes (Table II)."""
+
+    TILE_LOAD_T = "TILE_LOAD_T"
+    TILE_LOAD_U = "TILE_LOAD_U"
+    TILE_LOAD_V = "TILE_LOAD_V"
+    TILE_LOAD_M = "TILE_LOAD_M"
+    TILE_STORE_T = "TILE_STORE_T"
+    TILE_GEMM = "TILE_GEMM"
+    TILE_SPMM_U = "TILE_SPMM_U"
+    TILE_SPMM_V = "TILE_SPMM_V"
+    TILE_SPMM_R = "TILE_SPMM_R"
+
+    @property
+    def is_load(self) -> bool:
+        """True for the memory -> register transfer instructions."""
+        return self in {
+            Opcode.TILE_LOAD_T,
+            Opcode.TILE_LOAD_U,
+            Opcode.TILE_LOAD_V,
+            Opcode.TILE_LOAD_M,
+        }
+
+    @property
+    def is_store(self) -> bool:
+        """True for the register -> memory transfer instruction."""
+        return self is Opcode.TILE_STORE_T
+
+    @property
+    def is_compute(self) -> bool:
+        """True for the tile GEMM / SPMM instructions."""
+        return self in {
+            Opcode.TILE_GEMM,
+            Opcode.TILE_SPMM_U,
+            Opcode.TILE_SPMM_V,
+            Opcode.TILE_SPMM_R,
+        }
+
+    @property
+    def is_sparse_compute(self) -> bool:
+        """True for the SPMM (sparse A) instructions."""
+        return self in {
+            Opcode.TILE_SPMM_U,
+            Opcode.TILE_SPMM_V,
+            Opcode.TILE_SPMM_R,
+        }
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes transferred by a load/store; 0 for compute instructions."""
+        return {
+            Opcode.TILE_LOAD_T: TILE_REG_BYTES,
+            Opcode.TILE_LOAD_U: 2 * TILE_REG_BYTES,
+            Opcode.TILE_LOAD_V: 4 * TILE_REG_BYTES,
+            Opcode.TILE_LOAD_M: METADATA_REG_BYTES,
+            Opcode.TILE_STORE_T: TILE_REG_BYTES,
+        }.get(self, 0)
+
+
+@dataclass(frozen=True)
+class MemoryOperand:
+    """A memory operand: a byte address plus an access size."""
+
+    address: int
+    nbytes: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise IsaError(f"negative memory address {self.address}")
+        if self.nbytes <= 0:
+            raise IsaError(f"non-positive access size {self.nbytes}")
+
+    @property
+    def end(self) -> int:
+        """One past the last byte touched by this operand."""
+        return self.address + self.nbytes
+
+    def cache_lines(self, line_bytes: int = 64) -> Tuple[int, ...]:
+        """Addresses of the cache lines this operand touches."""
+        first = self.address // line_bytes
+        last = (self.end - 1) // line_bytes
+        return tuple(line * line_bytes for line in range(first, last + 1))
+
+
+#: Expected operand register kinds per opcode: (dst_kind, a_kind, b_kind).
+_COMPUTE_SIGNATURES: Dict[Opcode, Tuple[str, str, str]] = {
+    Opcode.TILE_GEMM: ("treg", "treg", "treg"),
+    Opcode.TILE_SPMM_U: ("treg", "treg", "ureg"),
+    Opcode.TILE_SPMM_V: ("treg", "treg", "vreg"),
+    Opcode.TILE_SPMM_R: ("ureg", "treg", "ureg"),
+}
+
+#: Expected destination register kind for each load opcode.
+_LOAD_DST_KINDS: Dict[Opcode, str] = {
+    Opcode.TILE_LOAD_T: "treg",
+    Opcode.TILE_LOAD_U: "ureg",
+    Opcode.TILE_LOAD_V: "vreg",
+    Opcode.TILE_LOAD_M: "mreg",
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single VEGETA instruction.
+
+    For compute instructions ``dst`` is the accumulator C (also a source),
+    ``src_a`` the (possibly sparse) stationary operand A and ``src_b`` the
+    streamed dense operand B.  For loads ``dst`` is the register and
+    ``memory`` the source; for stores ``src_a`` is the register and
+    ``memory`` the destination.
+    """
+
+    opcode: Opcode
+    dst: Optional[RegisterRef] = None
+    src_a: Optional[RegisterRef] = None
+    src_b: Optional[RegisterRef] = None
+    memory: Optional[MemoryOperand] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    # -- validation -----------------------------------------------------------
+
+    def _validate(self) -> None:
+        opcode = self.opcode
+        if opcode.is_load:
+            if self.dst is None or self.memory is None:
+                raise IsaError(f"{opcode.value} needs a destination register and a memory source")
+            expected = _LOAD_DST_KINDS[opcode]
+            if self.dst.kind != expected:
+                raise IsaError(
+                    f"{opcode.value} destination must be a {expected}, got {self.dst.name}"
+                )
+            if self.memory.nbytes != opcode.memory_bytes:
+                raise IsaError(
+                    f"{opcode.value} transfers {opcode.memory_bytes} bytes, "
+                    f"memory operand specifies {self.memory.nbytes}"
+                )
+        elif opcode.is_store:
+            if self.src_a is None or self.memory is None:
+                raise IsaError("TILE_STORE_T needs a source treg and a memory destination")
+            if self.src_a.kind != "treg":
+                raise IsaError(
+                    f"TILE_STORE_T source must be a treg, got {self.src_a.name}"
+                )
+            if self.memory.nbytes != opcode.memory_bytes:
+                raise IsaError(
+                    f"TILE_STORE_T transfers {opcode.memory_bytes} bytes, "
+                    f"memory operand specifies {self.memory.nbytes}"
+                )
+        else:
+            signature = _COMPUTE_SIGNATURES[opcode]
+            operands = (self.dst, self.src_a, self.src_b)
+            names = ("dst", "src_a", "src_b")
+            for operand, expected, name in zip(operands, signature, names):
+                if operand is None:
+                    raise IsaError(f"{opcode.value} is missing operand {name}")
+                if operand.kind != expected:
+                    raise IsaError(
+                        f"{opcode.value} operand {name} must be a {expected}, "
+                        f"got {operand.name}"
+                    )
+            if self.memory is not None:
+                raise IsaError(f"{opcode.value} takes no memory operand")
+
+    # -- dependence information -------------------------------------------------
+
+    @property
+    def implicit_metadata(self) -> Optional[RegisterRef]:
+        """The mreg implicitly read by sparse compute instructions.
+
+        A sparse A tile held in ``treg i`` uses ``mreg i`` for its positional
+        metadata (the convention of Listing 1).
+        """
+        if self.opcode.is_sparse_compute and self.src_a is not None:
+            return mreg(self.src_a.index)
+        return None
+
+    def reads(self) -> Tuple[RegisterRef, ...]:
+        """Registers read by this instruction (including the accumulator)."""
+        if self.opcode.is_load:
+            return ()
+        if self.opcode.is_store:
+            return (self.src_a,)
+        sources = [self.dst, self.src_a, self.src_b]
+        metadata = self.implicit_metadata
+        if metadata is not None:
+            sources.append(metadata)
+        return tuple(sources)
+
+    def writes(self) -> Tuple[RegisterRef, ...]:
+        """Registers written by this instruction."""
+        if self.opcode.is_store:
+            return ()
+        return (self.dst,)
+
+    def reads_tregs(self) -> Tuple[int, ...]:
+        """Backing treg indices read (used for aliasing-aware dependences)."""
+        indices = []
+        for ref in self.reads():
+            if ref.kind != "mreg":
+                indices.extend(ref.backing_tregs())
+        return tuple(sorted(set(indices)))
+
+    def writes_tregs(self) -> Tuple[int, ...]:
+        """Backing treg indices written."""
+        indices = []
+        for ref in self.writes():
+            if ref.kind != "mreg":
+                indices.extend(ref.backing_tregs())
+        return tuple(sorted(set(indices)))
+
+    # -- pretty printing ----------------------------------------------------------
+
+    def to_assembly(self) -> str:
+        """Human-readable assembly-like rendering of the instruction."""
+        opcode = self.opcode
+        if opcode.is_load:
+            return f"{opcode.value} {self.dst.name}, [{self.memory.address:#x}]"
+        if opcode.is_store:
+            return f"{opcode.value} [{self.memory.address:#x}], {self.src_a.name}"
+        return (
+            f"{opcode.value} {self.dst.name}, {self.src_a.name}, {self.src_b.name}"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_assembly()
+
+
+# -- constructors -------------------------------------------------------------
+
+
+def tile_load_t(dst: RegisterRef, address: int, label: str = "") -> Instruction:
+    """Build a ``TILE_LOAD_T`` (1 KB load into a treg)."""
+    return Instruction(
+        Opcode.TILE_LOAD_T,
+        dst=dst,
+        memory=MemoryOperand(address, TILE_REG_BYTES, label),
+        label=label,
+    )
+
+
+def tile_load_u(dst: RegisterRef, address: int, label: str = "") -> Instruction:
+    """Build a ``TILE_LOAD_U`` (2 KB load into a ureg)."""
+    return Instruction(
+        Opcode.TILE_LOAD_U,
+        dst=dst,
+        memory=MemoryOperand(address, 2 * TILE_REG_BYTES, label),
+        label=label,
+    )
+
+
+def tile_load_v(dst: RegisterRef, address: int, label: str = "") -> Instruction:
+    """Build a ``TILE_LOAD_V`` (4 KB load into a vreg)."""
+    return Instruction(
+        Opcode.TILE_LOAD_V,
+        dst=dst,
+        memory=MemoryOperand(address, 4 * TILE_REG_BYTES, label),
+        label=label,
+    )
+
+
+def tile_load_m(dst: RegisterRef, address: int, label: str = "") -> Instruction:
+    """Build a ``TILE_LOAD_M`` (128 B metadata load into an mreg)."""
+    return Instruction(
+        Opcode.TILE_LOAD_M,
+        dst=dst,
+        memory=MemoryOperand(address, METADATA_REG_BYTES, label),
+        label=label,
+    )
+
+
+def tile_store_t(address: int, src: RegisterRef, label: str = "") -> Instruction:
+    """Build a ``TILE_STORE_T`` (1 KB store from a treg)."""
+    return Instruction(
+        Opcode.TILE_STORE_T,
+        src_a=src,
+        memory=MemoryOperand(address, TILE_REG_BYTES, label),
+        label=label,
+    )
+
+
+def tile_gemm(dst: RegisterRef, a: RegisterRef, b: RegisterRef, label: str = "") -> Instruction:
+    """Build a dense ``TILE_GEMM`` C += A x B."""
+    return Instruction(Opcode.TILE_GEMM, dst=dst, src_a=a, src_b=b, label=label)
+
+
+def tile_spmm_u(dst: RegisterRef, a: RegisterRef, b: RegisterRef, label: str = "") -> Instruction:
+    """Build a 2:4-sparse ``TILE_SPMM_U`` C += A x B."""
+    return Instruction(Opcode.TILE_SPMM_U, dst=dst, src_a=a, src_b=b, label=label)
+
+
+def tile_spmm_v(dst: RegisterRef, a: RegisterRef, b: RegisterRef, label: str = "") -> Instruction:
+    """Build a 1:4-sparse ``TILE_SPMM_V`` C += A x B."""
+    return Instruction(Opcode.TILE_SPMM_V, dst=dst, src_a=a, src_b=b, label=label)
+
+
+def tile_spmm_r(dst: RegisterRef, a: RegisterRef, b: RegisterRef, label: str = "") -> Instruction:
+    """Build a row-wise ``TILE_SPMM_R`` C += A x B."""
+    return Instruction(Opcode.TILE_SPMM_R, dst=dst, src_a=a, src_b=b, label=label)

@@ -1,0 +1,250 @@
+"""Cycle-level pipeline model of a VEGETA matrix engine (Section V-C).
+
+Executing one tile GEMM/SPMM instruction on a systolic engine passes through
+four stages, pipelined across instructions the way RASA [29] proposed and the
+paper extends:
+
+``WL``
+    Weight Load — the stationary (A) tile trickles in from the north,
+    ``Nrows`` cycles.
+``FF``
+    Feed First — B columns and C elements stream from the west/north until
+    the top-left PE stops receiving new elements, ``Tn`` (=16) cycles.
+``FS``
+    Feed Second — the remaining skewed rows keep streaming, ``Nrows - 1``
+    cycles.
+``DR``
+    Drain — partial sums flush out of the array, ``Ncols`` cycles, followed by
+    ``log2(beta)`` cycles in the reduction adders.
+
+No two in-flight instructions may occupy the same stage, so independent
+instructions initiate every ``max(stage latency)`` cycles (16 for every
+512-MAC configuration).  Accumulator (C) dependences stall the consumer's FF
+until the producer has written C back — unless the engine implements *output
+forwarding*, in which case the consumer may start reading C
+``2*Nrows + log2(beta)`` cycles after the producer's FF began, because reads
+and writes of C follow the same element order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import SimulationError
+from .engine import EngineConfig
+
+
+@dataclass(frozen=True)
+class TileComputeRequest:
+    """One tile compute instruction presented to the engine pipeline.
+
+    ``operands_ready`` is the cycle at which the A/B source registers hold
+    valid data (produced by the load pipeline); ``accumulator_dep`` is the
+    ``op_id`` of the previous compute writing the same C register, if any.
+    """
+
+    op_id: int
+    operands_ready: int = 0
+    accumulator_dep: Optional[int] = None
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class TileComputeTiming:
+    """Stage-by-stage timing of one tile instruction on the engine."""
+
+    op_id: int
+    wl_start: int
+    wl_end: int
+    ff_start: int
+    ff_end: int
+    fs_start: int
+    fs_end: int
+    dr_start: int
+    dr_end: int
+    complete: int
+
+    @property
+    def latency(self) -> int:
+        """End-to-end latency from WL start to completion."""
+        return self.complete - self.wl_start
+
+    def stage_intervals(self) -> Dict[str, tuple]:
+        """Mapping of stage name to (start, end) — handy for Figure 10 plots."""
+        return {
+            "WL": (self.wl_start, self.wl_end),
+            "FF": (self.ff_start, self.ff_end),
+            "FS": (self.fs_start, self.fs_end),
+            "DR": (self.dr_start, self.dr_end),
+        }
+
+
+class MatrixEnginePipeline:
+    """Schedules tile compute instructions onto one VEGETA engine.
+
+    The pipeline is in-order (tile instructions issue in program order, as
+    they do from the core's matrix-engine scheduler) and models stage
+    occupancy plus accumulator dependences with or without output forwarding.
+    """
+
+    def __init__(self, engine: EngineConfig) -> None:
+        self.engine = engine
+        self._stage_free = {"WL": 0, "FF": 0, "FS": 0, "DR": 0}
+        self._timings: Dict[int, TileComputeTiming] = {}
+        self._completed: List[TileComputeTiming] = []
+
+    # -- public API ---------------------------------------------------------------
+
+    def schedule(self, request: TileComputeRequest) -> TileComputeTiming:
+        """Schedule one tile instruction and return its timing."""
+        engine = self.engine
+        if request.op_id in self._timings:
+            raise SimulationError(f"duplicate op_id {request.op_id}")
+
+        wl_latency = engine.weight_load_latency
+        ff_latency = engine.feed_first_latency
+        fs_latency = engine.feed_second_latency
+        dr_latency = engine.drain_latency
+
+        # WL needs the weight operand and a free WL stage.
+        wl_start = max(request.operands_ready, self._stage_free["WL"])
+
+        # FF needs the streamed operands, a free FF stage, and — when the
+        # accumulator is produced by an earlier in-flight instruction — either
+        # the producer's completion (no OF) or its forwarding window (OF).
+        ff_earliest = max(wl_start + wl_latency, self._stage_free["FF"])
+        if request.accumulator_dep is not None:
+            producer = self._timings.get(request.accumulator_dep)
+            if producer is None:
+                raise SimulationError(
+                    f"op {request.op_id} depends on unknown op {request.accumulator_dep}"
+                )
+            if engine.output_forwarding:
+                # Forwarding is an additional bypass path: the consumer starts
+                # as soon as either the forwarding window opens or the
+                # producer's write-back completes, whichever comes first.
+                ff_earliest = max(
+                    ff_earliest,
+                    min(
+                        producer.ff_start + engine.output_ready_latency,
+                        producer.complete,
+                    ),
+                )
+            else:
+                ff_earliest = max(ff_earliest, producer.complete)
+        ff_start = ff_earliest
+        # If FF had to wait, WL effectively finishes just before FF; keep WL's
+        # recorded window contiguous with its own latency (the array simply
+        # idles after loading weights).
+        wl_end = wl_start + wl_latency
+
+        fs_start = max(ff_start + ff_latency, self._stage_free["FS"])
+        dr_start = max(fs_start + fs_latency, self._stage_free["DR"])
+        dr_end = dr_start + dr_latency
+        complete = dr_end + engine.reduction_latency
+
+        timing = TileComputeTiming(
+            op_id=request.op_id,
+            wl_start=wl_start,
+            wl_end=wl_end,
+            ff_start=ff_start,
+            ff_end=ff_start + ff_latency,
+            fs_start=fs_start,
+            fs_end=fs_start + fs_latency,
+            dr_start=dr_start,
+            dr_end=dr_end,
+            complete=complete,
+        )
+
+        self._stage_free["WL"] = wl_end
+        self._stage_free["FF"] = timing.ff_end
+        self._stage_free["FS"] = timing.fs_end
+        self._stage_free["DR"] = timing.dr_end
+        self._timings[request.op_id] = timing
+        self._completed.append(timing)
+        return timing
+
+    def schedule_all(
+        self, requests: Sequence[TileComputeRequest]
+    ) -> List[TileComputeTiming]:
+        """Schedule a whole sequence of requests in program order."""
+        return [self.schedule(request) for request in requests]
+
+    def timing_of(self, op_id: int) -> TileComputeTiming:
+        """Timing of a previously scheduled op."""
+        try:
+            return self._timings[op_id]
+        except KeyError as error:
+            raise SimulationError(f"op {op_id} has not been scheduled") from error
+
+    @property
+    def completed(self) -> List[TileComputeTiming]:
+        """All scheduled timings in program order."""
+        return list(self._completed)
+
+    @property
+    def makespan(self) -> int:
+        """Cycle at which the last scheduled instruction completes."""
+        if not self._completed:
+            return 0
+        return max(timing.complete for timing in self._completed)
+
+    def utilization(self) -> float:
+        """Fraction of MAC-cycles doing useful work over the makespan.
+
+        Each tile instruction performs 8192 effectual MACs on a 512-MAC
+        array, i.e. 16 fully-busy cycles; utilisation is therefore
+        ``16 * instructions / makespan``.
+        """
+        if not self._completed:
+            return 0.0
+        busy = 16 * len(self._completed)
+        return busy / self.makespan if self.makespan else 0.0
+
+
+def steady_state_issue_interval(engine: EngineConfig, depth: int = 8) -> float:
+    """Measured steady-state initiation interval for independent instructions.
+
+    Schedules ``depth`` independent back-to-back instructions and reports the
+    average spacing of their completions, which converges to
+    ``engine.issue_interval`` — the experiment behind Figure 10 (a)/(b).
+    """
+    pipeline = MatrixEnginePipeline(engine)
+    timings = pipeline.schedule_all(
+        [TileComputeRequest(op_id=index) for index in range(depth)]
+    )
+    if depth < 2:
+        return float(timings[0].latency)
+    spans = [
+        timings[index + 1].complete - timings[index].complete
+        for index in range(depth - 1)
+    ]
+    return sum(spans) / len(spans)
+
+
+def dependent_chain_interval(
+    engine: EngineConfig, depth: int = 8
+) -> float:
+    """Average spacing of a chain of accumulator-dependent instructions.
+
+    This is Figure 10 (c)/(d): without output forwarding each link waits for
+    the full completion of its predecessor; with it the chain advances every
+    ``max(issue_interval, output_ready_latency - ...)`` cycles.
+    """
+    pipeline = MatrixEnginePipeline(engine)
+    requests = [
+        TileComputeRequest(
+            op_id=index,
+            accumulator_dep=index - 1 if index > 0 else None,
+        )
+        for index in range(depth)
+    ]
+    timings = pipeline.schedule_all(requests)
+    if depth < 2:
+        return float(timings[0].latency)
+    spans = [
+        timings[index + 1].complete - timings[index].complete
+        for index in range(depth - 1)
+    ]
+    return sum(spans) / len(spans)

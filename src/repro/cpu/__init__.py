@@ -1,0 +1,55 @@
+"""Cycle-approximate CPU substrate (the MacSim replacement).
+
+Sub-modules:
+
+* :mod:`repro.cpu.params` — core / cache / memory parameters (Section VI-B setup),
+* :mod:`repro.cpu.cache` — set-associative caches and the two-level hierarchy,
+* :mod:`repro.cpu.memory` — the memory system with bandwidth accounting,
+* :mod:`repro.cpu.trace` — dynamic instruction traces (the Pin-tool replacement),
+* :mod:`repro.cpu.simulator` — the trace-driven simulator.
+"""
+
+from .cache import AccessResult, Cache, CacheHierarchy, CacheStats
+from .memory import MemoryRequestResult, MemorySystem
+from .params import CacheParams, CoreParams, MachineParams, MemoryParams, default_machine
+from .simulator import CycleApproximateSimulator, SimulationResult
+from .trace import (
+    TraceOp,
+    TraceOpKind,
+    TraceSummary,
+    branch_op,
+    scalar_op,
+    summarize_trace,
+    tile_op,
+    trace_memory_footprint,
+    vector_fma,
+    vector_load,
+    vector_store,
+)
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheHierarchy",
+    "CacheParams",
+    "CacheStats",
+    "CoreParams",
+    "CycleApproximateSimulator",
+    "MachineParams",
+    "MemoryParams",
+    "MemoryRequestResult",
+    "MemorySystem",
+    "SimulationResult",
+    "TraceOp",
+    "TraceOpKind",
+    "TraceSummary",
+    "branch_op",
+    "default_machine",
+    "scalar_op",
+    "summarize_trace",
+    "tile_op",
+    "trace_memory_footprint",
+    "vector_fma",
+    "vector_load",
+    "vector_store",
+]

@@ -1,0 +1,126 @@
+"""Memory system: the cache hierarchy plus bandwidth accounting.
+
+Tile loads are converted into 64-byte line requests (a ``TILE_LOAD_T`` is 16
+cache-line requests through the load/store queue, per Section V-F).  The
+:class:`MemorySystem` walks each line through the two-level cache hierarchy,
+charges the L2-to-core port (one line per core cycle) and the DRAM bandwidth
+(94 GB/s by default) and returns the completion cycle of the whole request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+from ..errors import SimulationError
+from .cache import CacheHierarchy
+from .params import MachineParams
+
+
+@dataclass
+class MemoryRequestResult:
+    """Timing of one (multi-line) memory request."""
+
+    start_cycle: int
+    complete_cycle: int
+    lines: int
+    l1_hits: int
+    l2_hits: int
+    dram_lines: int
+
+    @property
+    def latency(self) -> int:
+        """Total cycles from request start to last line delivered."""
+        return self.complete_cycle - self.start_cycle
+
+
+class MemorySystem:
+    """Cache hierarchy + bandwidth model used by the simulator."""
+
+    def __init__(self, params: MachineParams) -> None:
+        self.params = params
+        self.hierarchy = CacheHierarchy(
+            params.l1, params.l2, params.memory.dram_latency_cycles
+        )
+        #: Next core cycle at which the L2->core port is free.
+        self._l2_port_free = 0
+        #: Next core cycle at which the DRAM channel is free.
+        self._dram_free = 0
+        self.total_bytes = 0
+        self.total_requests = 0
+
+    # -- prefetch modelling ------------------------------------------------------
+
+    def prefetch_regions(self, regions: Iterable) -> None:
+        """Install every line of the given (address, nbytes) regions in the L2.
+
+        Models the paper's assumption that kernel data has been prefetched
+        into the L2 before the measured region starts.
+        """
+        line = self.params.l2.line_bytes
+        for address, nbytes in regions:
+            first = address // line
+            last = (address + nbytes - 1) // line
+            self.hierarchy.warm_l2(number * line for number in range(first, last + 1))
+
+    # -- request path ----------------------------------------------------------------
+
+    def request(self, address: int, nbytes: int, cycle: int, is_store: bool = False) -> MemoryRequestResult:
+        """Issue a request of ``nbytes`` at ``address`` starting at ``cycle``.
+
+        Lines are serviced one per core cycle on the L2 port; lines missing to
+        DRAM additionally wait for DRAM latency and occupy DRAM bandwidth.
+        Stores are treated as write-allocate and buffered (their completion
+        matters only for memory-ordering, which the in-order trace respects).
+        """
+        if nbytes <= 0:
+            raise SimulationError(f"invalid memory request of {nbytes} bytes")
+        line_bytes = self.params.l1.line_bytes
+        first = address // line_bytes
+        last = (address + nbytes - 1) // line_bytes
+        lines = last - first + 1
+
+        l1_hits = 0
+        l2_hits = 0
+        dram_lines = 0
+        complete = cycle
+        dram_bytes_per_cycle = max(
+            1.0, self.params.memory.dram_bytes_per_core_cycle
+        )
+        for number in range(first, last + 1):
+            line_address = number * line_bytes
+            result = self.hierarchy.access_line(line_address)
+            # The L2->core port moves one line per cycle.
+            port_ready = max(self._l2_port_free, cycle)
+            self._l2_port_free = port_ready + 1
+            line_complete = port_ready + result.latency
+            if result.level == "DRAM":
+                dram_lines += 1
+                dram_ready = max(self._dram_free, cycle)
+                self._dram_free = dram_ready + int(line_bytes / dram_bytes_per_cycle)
+                line_complete = max(
+                    line_complete, dram_ready + self.params.memory.dram_latency_cycles
+                )
+            elif result.level == "L2":
+                l2_hits += 1
+            else:
+                l1_hits += 1
+            complete = max(complete, line_complete)
+
+        self.total_bytes += nbytes
+        self.total_requests += 1
+        return MemoryRequestResult(
+            start_cycle=cycle,
+            complete_cycle=complete,
+            lines=lines,
+            l1_hits=l1_hits,
+            l2_hits=l2_hits,
+            dram_lines=dram_lines,
+        )
+
+    def counters(self) -> Dict[str, int]:
+        """Aggregate counters for reporting."""
+        counters = self.hierarchy.counters()
+        counters["total_bytes"] = self.total_bytes
+        counters["total_requests"] = self.total_requests
+        return counters

@@ -1,0 +1,125 @@
+"""Machine parameters for the cycle-approximate CPU model.
+
+The defaults reproduce the evaluation setup of Section VI-B: a 2 GHz,
+4-wide out-of-order core with 97 ROB entries and 96 load-buffer entries,
+16 pipeline stages, matrix engines clocked at 0.5 GHz (the frequency every
+RTL design point met), and data prefetched into the L2 cache.  The memory
+system parameters (94 GB/s DRAM bandwidth) follow the roofline model of
+Section III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    capacity_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+    hit_latency: int = 4
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ConfigurationError(f"invalid cache parameters for {self.name}")
+        if self.capacity_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ConfigurationError(
+                f"{self.name}: capacity must be a whole number of sets"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self.capacity_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.capacity_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class MemoryParams:
+    """DRAM latency / bandwidth parameters."""
+
+    dram_latency_cycles: int = 200
+    dram_bandwidth_gbps: float = 94.0
+    core_frequency_ghz: float = 2.0
+
+    @property
+    def dram_bytes_per_core_cycle(self) -> float:
+        """Sustained DRAM bytes deliverable per core cycle."""
+        return self.dram_bandwidth_gbps / self.core_frequency_ghz
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Out-of-order core parameters (Section VI-B)."""
+
+    frequency_ghz: float = 2.0
+    matrix_engine_frequency_ghz: float = 0.5
+    fetch_width: int = 4
+    issue_width: int = 4
+    retire_width: int = 4
+    pipeline_stages: int = 16
+    rob_entries: int = 97
+    load_buffer_entries: int = 96
+    #: Scalar ALU / address-generation latency in core cycles.
+    scalar_latency: int = 1
+    #: Vector FMA latency in core cycles.
+    vector_fma_latency: int = 4
+    #: Vector FMA throughput in FMAs per core cycle.  The default models the
+    #: 64 GFLOPS BF16 vector engine of Section III-A: 16 MACs per cycle is
+    #: half of a 32-element FMA per cycle.
+    vector_fma_per_cycle: float = 0.5
+    #: L2 to core sustained bandwidth, bytes per core cycle (one line / cycle).
+    l2_bytes_per_cycle: int = 64
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0 or self.matrix_engine_frequency_ghz <= 0:
+            raise ConfigurationError("frequencies must be positive")
+        if self.matrix_engine_frequency_ghz > self.frequency_ghz:
+            raise ConfigurationError(
+                "the matrix engine cannot be clocked faster than the core"
+            )
+        if min(self.fetch_width, self.issue_width, self.retire_width) <= 0:
+            raise ConfigurationError("pipeline widths must be positive")
+        if self.rob_entries <= 0 or self.load_buffer_entries <= 0:
+            raise ConfigurationError("buffer sizes must be positive")
+
+    @property
+    def engine_clock_ratio(self) -> int:
+        """Core cycles per matrix-engine cycle (4 for 2 GHz / 0.5 GHz)."""
+        ratio = self.frequency_ghz / self.matrix_engine_frequency_ghz
+        return max(1, int(round(ratio)))
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Complete machine description handed to the simulator."""
+
+    core: CoreParams = field(default_factory=CoreParams)
+    l1: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            name="L1D", capacity_bytes=48 * 1024, hit_latency=4
+        )
+    )
+    l2: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            name="L2", capacity_bytes=2 * 1024 * 1024, hit_latency=14
+        )
+    )
+    memory: MemoryParams = field(default_factory=MemoryParams)
+    #: Model the paper's "data is prefetched to the L2 cache" assumption.
+    prefetch_into_l2: bool = True
+
+
+def default_machine() -> MachineParams:
+    """The evaluation machine of Section VI-B."""
+    return MachineParams()

@@ -1,0 +1,303 @@
+"""Trace-driven, cycle-approximate simulator of a CPU with a VEGETA engine.
+
+This plays the role MacSim plays in the paper's evaluation (Section VI-A):
+it consumes the dynamic instruction traces emitted by the kernel generators
+and produces runtimes for a core with a given matrix-engine configuration.
+
+The model captures the first-order effects that differentiate the Figure 13
+design points:
+
+* the matrix engine's WL/FF/FS/DR pipelining, drain latency and output
+  forwarding (via :class:`~repro.core.pipeline.MatrixEnginePipeline`, run in
+  the 0.5 GHz engine clock domain),
+* tile-register dependences between loads, compute and stores (aliasing-aware
+  through the backing-treg sets),
+* front-end issue bandwidth, ROB and load-buffer occupancy,
+* the cache hierarchy with one 64-byte line per cycle from the L2 and the
+  DRAM bandwidth of the roofline model, with the evaluation's "data already
+  prefetched into L2" assumption applied by default,
+* a vector engine (for the Figure 4 baseline) with a fixed FMA latency and a
+  configurable number of FMA ports.
+
+It is deliberately *approximate*: scalar ops retire in a single cycle and the
+out-of-order window is modelled only through the ROB/load-buffer limits, which
+is sufficient for the relative comparisons the paper reports.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+from ..core.engine import EngineConfig
+from ..core.isa import Opcode
+from ..core.pipeline import MatrixEnginePipeline, TileComputeRequest
+from ..errors import SimulationError
+from .memory import MemorySystem
+from .params import MachineParams, default_machine
+from .trace import TraceOp, TraceOpKind, TraceSummary, summarize_trace, trace_memory_footprint
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one trace on one machine/engine configuration."""
+
+    core_cycles: int
+    engine_busy_cycles: int
+    engine_makespan_cycles: int
+    tile_compute_ops: int
+    trace_summary: TraceSummary
+    memory_counters: Dict[str, int]
+    machine: MachineParams
+    engine: Optional[EngineConfig]
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Wall-clock runtime at the core frequency."""
+        return self.core_cycles / (self.machine.core.frequency_ghz * 1e9)
+
+    @property
+    def engine_utilization(self) -> float:
+        """Fraction of engine cycles doing useful MAC work."""
+        if self.engine_makespan_cycles == 0:
+            return 0.0
+        return self.engine_busy_cycles / self.engine_makespan_cycles
+
+    @property
+    def instructions(self) -> int:
+        """Dynamic instruction count of the simulated trace."""
+        return self.trace_summary.total
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per core cycle."""
+        return self.instructions / self.core_cycles if self.core_cycles else 0.0
+
+
+class CycleApproximateSimulator:
+    """Simulates traces of VEGETA / vector / scalar instructions."""
+
+    def __init__(
+        self,
+        machine: Optional[MachineParams] = None,
+        engine: Optional[EngineConfig] = None,
+    ) -> None:
+        self.machine = machine if machine is not None else default_machine()
+        self.engine = engine
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self, trace: Sequence[TraceOp]) -> SimulationResult:
+        """Simulate a trace and return its timing and counters."""
+        machine = self.machine
+        core = machine.core
+        memory = MemorySystem(machine)
+        if machine.prefetch_into_l2:
+            memory.prefetch_regions(trace_memory_footprint(trace))
+
+        pipeline = (
+            MatrixEnginePipeline(self.engine) if self.engine is not None else None
+        )
+        ratio = core.engine_clock_ratio
+
+        # Scoreboards.
+        treg_ready: Dict[int, int] = {}
+        mreg_ready: Dict[int, int] = {}
+        vreg_ready: Dict[int, int] = {}
+        last_compute_writer: Dict[int, int] = {}
+        compute_completion: Dict[int, int] = {}
+
+        # Structural resources.
+        rob: Deque[int] = deque()
+        load_buffer: Deque[int] = deque()
+        next_fma_slot = 0.0
+
+        issue_cycle = 0
+        issued_this_cycle = 0
+        last_completion = 0
+        engine_ops = 0
+        next_op_id = 0
+
+        def retire_from(buffer: Deque[int], limit: int, cycle: int) -> int:
+            """Drain completed entries; stall ``cycle`` forward if still full."""
+            while buffer and buffer[0] <= cycle:
+                buffer.popleft()
+            if len(buffer) >= limit:
+                cycle = buffer.popleft()
+                while buffer and buffer[0] <= cycle:
+                    buffer.popleft()
+            return cycle
+
+        for op in trace:
+            # Front-end issue bandwidth.
+            if issued_this_cycle >= core.issue_width:
+                issue_cycle += 1
+                issued_this_cycle = 0
+            issue_cycle = retire_from(rob, core.rob_entries, issue_cycle)
+            if op.is_memory:
+                issue_cycle = retire_from(
+                    load_buffer, core.load_buffer_entries, issue_cycle
+                )
+            issued_this_cycle += 1
+            cycle = issue_cycle
+
+            if op.kind is TraceOpKind.TILE:
+                completion = self._execute_tile(
+                    op,
+                    cycle,
+                    memory,
+                    pipeline,
+                    ratio,
+                    treg_ready,
+                    mreg_ready,
+                    last_compute_writer,
+                    compute_completion,
+                    load_buffer,
+                )
+                if op.tile.opcode.is_compute:
+                    engine_ops += 1
+            elif op.kind is TraceOpKind.VECTOR_LOAD:
+                result = memory.request(op.address, op.nbytes, cycle)
+                completion = result.complete_cycle
+                if op.dst_reg is not None:
+                    vreg_ready[op.dst_reg] = completion
+                load_buffer.append(completion)
+            elif op.kind is TraceOpKind.VECTOR_STORE:
+                ready = max(
+                    [cycle] + [vreg_ready.get(reg, 0) for reg in op.src_regs]
+                )
+                result = memory.request(op.address, op.nbytes, ready, is_store=True)
+                completion = result.complete_cycle
+                load_buffer.append(completion)
+            elif op.kind is TraceOpKind.VECTOR_FMA:
+                ready = max(
+                    [cycle]
+                    + [vreg_ready.get(reg, 0) for reg in op.src_regs]
+                    + ([vreg_ready.get(op.dst_reg, 0)] if op.dst_reg is not None else [])
+                )
+                slot = max(next_fma_slot, float(ready))
+                next_fma_slot = slot + 1.0 / core.vector_fma_per_cycle
+                completion = int(math.ceil(slot)) + core.vector_fma_latency
+                if op.dst_reg is not None:
+                    vreg_ready[op.dst_reg] = completion
+            else:  # SCALAR / BRANCH
+                completion = cycle + core.scalar_latency
+
+            rob.append(completion)
+            last_completion = max(last_completion, completion)
+
+        engine_busy = engine_ops * 16
+        engine_makespan = pipeline.makespan if pipeline is not None else 0
+        summary = summarize_trace(trace)
+        core_cycles = max(last_completion, issue_cycle + 1)
+        return SimulationResult(
+            core_cycles=core_cycles,
+            engine_busy_cycles=engine_busy,
+            engine_makespan_cycles=engine_makespan,
+            tile_compute_ops=engine_ops,
+            trace_summary=summary,
+            memory_counters=memory.counters(),
+            machine=machine,
+            engine=self.engine,
+        )
+
+    # -- tile instruction handling -----------------------------------------------------
+
+    def _execute_tile(
+        self,
+        op: TraceOp,
+        cycle: int,
+        memory: MemorySystem,
+        pipeline: Optional[MatrixEnginePipeline],
+        ratio: int,
+        treg_ready: Dict[int, int],
+        mreg_ready: Dict[int, int],
+        last_compute_writer: Dict[int, int],
+        compute_completion: Dict[int, int],
+        load_buffer,
+    ) -> int:
+        instruction = op.tile
+        opcode = instruction.opcode
+
+        if opcode.is_load:
+            result = memory.request(
+                instruction.memory.address, instruction.memory.nbytes, cycle
+            )
+            completion = result.complete_cycle
+            if instruction.dst.kind == "mreg":
+                mreg_ready[instruction.dst.index] = completion
+            else:
+                for index in instruction.dst.backing_tregs():
+                    treg_ready[index] = completion
+                    last_compute_writer.pop(index, None)
+            load_buffer.append(completion)
+            return completion
+
+        if opcode.is_store:
+            ready = max(
+                [cycle]
+                + [treg_ready.get(index, 0) for index in instruction.src_a.backing_tregs()]
+            )
+            # Wait for an in-flight accumulation into the stored register.
+            for index in instruction.src_a.backing_tregs():
+                writer = last_compute_writer.get(index)
+                if writer is not None:
+                    ready = max(ready, compute_completion.get(writer, ready))
+            result = memory.request(
+                instruction.memory.address, instruction.memory.nbytes, ready, is_store=True
+            )
+            load_buffer.append(result.complete_cycle)
+            return result.complete_cycle
+
+        # Tile compute.
+        if pipeline is None:
+            raise SimulationError(
+                "trace contains tile compute instructions but no engine was configured"
+            )
+        source_tregs = set(instruction.src_a.backing_tregs()) | set(
+            instruction.src_b.backing_tregs()
+        )
+        operand_ready = max(
+            [cycle] + [treg_ready.get(index, 0) for index in source_tregs]
+        )
+        metadata = instruction.implicit_metadata
+        if metadata is not None:
+            operand_ready = max(operand_ready, mreg_ready.get(metadata.index, 0))
+
+        dst_tregs = instruction.dst.backing_tregs()
+        accumulator_dep: Optional[int] = None
+        for index in dst_tregs:
+            writer = last_compute_writer.get(index)
+            if writer is not None:
+                accumulator_dep = writer if accumulator_dep is None else max(
+                    accumulator_dep, writer
+                )
+            else:
+                operand_ready = max(operand_ready, treg_ready.get(index, 0))
+        # Sources produced by still-in-flight compute ops must also be complete
+        # (no forwarding path exists for A/B operands).
+        for index in source_tregs:
+            writer = last_compute_writer.get(index)
+            if writer is not None and writer != accumulator_dep:
+                operand_ready = max(
+                    operand_ready, compute_completion.get(writer, operand_ready)
+                )
+
+        engine_ready = (operand_ready + ratio - 1) // ratio
+        op_id = len(pipeline.completed)
+        timing = pipeline.schedule(
+            TileComputeRequest(
+                op_id=op_id,
+                operands_ready=engine_ready,
+                accumulator_dep=accumulator_dep,
+                label=op.label,
+            )
+        )
+        completion = timing.complete * ratio
+        for index in dst_tregs:
+            treg_ready[index] = completion
+            last_compute_writer[index] = op_id
+        compute_completion[op_id] = completion
+        return completion

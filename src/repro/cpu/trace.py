@@ -1,0 +1,193 @@
+"""Dynamic instruction traces consumed by the cycle-approximate simulator.
+
+The paper generates traces of its kernels with a Pin tool and feeds them to
+MacSim; our kernel generators emit the same kind of trace directly.  A trace
+is an ordered list of :class:`TraceOp` records covering three instruction
+classes:
+
+* **tile ops** — VEGETA instructions (Table II), carrying the full
+  :class:`~repro.core.isa.Instruction`,
+* **vector ops** — AVX-512-like loads/stores/FMAs used by the vector-engine
+  baseline kernels of Figure 4,
+* **scalar ops** — loop/address-generation/branch overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.isa import Instruction, Opcode
+from ..errors import SimulationError
+
+
+class TraceOpKind(enum.Enum):
+    """Top-level class of a trace record."""
+
+    TILE = "tile"
+    VECTOR_LOAD = "vector_load"
+    VECTOR_STORE = "vector_store"
+    VECTOR_FMA = "vector_fma"
+    SCALAR = "scalar"
+    BRANCH = "branch"
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One dynamic instruction in a trace.
+
+    ``tile`` is set only for :attr:`TraceOpKind.TILE`.  Vector ops use the
+    integer ``dst_reg`` / ``src_regs`` namespace (architectural vector
+    registers) and ``address`` / ``nbytes`` for their memory operand.
+    """
+
+    kind: TraceOpKind
+    tile: Optional[Instruction] = None
+    dst_reg: Optional[int] = None
+    src_regs: Tuple[int, ...] = ()
+    address: Optional[int] = None
+    nbytes: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind is TraceOpKind.TILE and self.tile is None:
+            raise SimulationError("a TILE trace op must carry an Instruction")
+        if self.kind is not TraceOpKind.TILE and self.tile is not None:
+            raise SimulationError("only TILE trace ops may carry an Instruction")
+        if self.kind in (TraceOpKind.VECTOR_LOAD, TraceOpKind.VECTOR_STORE):
+            if self.address is None or self.nbytes <= 0:
+                raise SimulationError(f"{self.kind.value} needs an address and size")
+
+    @property
+    def is_memory(self) -> bool:
+        """True if the op accesses memory."""
+        if self.kind is TraceOpKind.TILE:
+            return self.tile.opcode.is_load or self.tile.opcode.is_store
+        return self.kind in (TraceOpKind.VECTOR_LOAD, TraceOpKind.VECTOR_STORE)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes moved by the op (0 for non-memory ops)."""
+        if self.kind is TraceOpKind.TILE:
+            return self.tile.opcode.memory_bytes
+        if self.is_memory:
+            return self.nbytes
+        return 0
+
+
+def tile_op(instruction: Instruction, label: str = "") -> TraceOp:
+    """Wrap a VEGETA instruction as a trace record."""
+    return TraceOp(kind=TraceOpKind.TILE, tile=instruction, label=label)
+
+
+def vector_load(dst_reg: int, address: int, nbytes: int = 64, label: str = "") -> TraceOp:
+    """A vector register load (one 64-byte register by default)."""
+    return TraceOp(
+        kind=TraceOpKind.VECTOR_LOAD,
+        dst_reg=dst_reg,
+        address=address,
+        nbytes=nbytes,
+        label=label,
+    )
+
+
+def vector_store(src_reg: int, address: int, nbytes: int = 64, label: str = "") -> TraceOp:
+    """A vector register store."""
+    return TraceOp(
+        kind=TraceOpKind.VECTOR_STORE,
+        src_regs=(src_reg,),
+        address=address,
+        nbytes=nbytes,
+        label=label,
+    )
+
+
+def vector_fma(dst_reg: int, src_regs: Sequence[int], label: str = "") -> TraceOp:
+    """A vector fused multiply-add (dst += src0 * src1)."""
+    return TraceOp(
+        kind=TraceOpKind.VECTOR_FMA,
+        dst_reg=dst_reg,
+        src_regs=tuple(src_regs),
+        label=label,
+    )
+
+
+def scalar_op(label: str = "") -> TraceOp:
+    """A scalar ALU / address-generation instruction."""
+    return TraceOp(kind=TraceOpKind.SCALAR, label=label)
+
+
+def branch_op(label: str = "") -> TraceOp:
+    """A (predicted-taken) loop branch."""
+    return TraceOp(kind=TraceOpKind.BRANCH, label=label)
+
+
+@dataclass
+class TraceSummary:
+    """Instruction-mix statistics of a trace (used for Figure 4)."""
+
+    total: int = 0
+    tile_compute: int = 0
+    tile_load: int = 0
+    tile_store: int = 0
+    vector_fma: int = 0
+    vector_load: int = 0
+    vector_store: int = 0
+    scalar: int = 0
+    branch: int = 0
+    memory_bytes: int = 0
+    by_opcode: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def vector_total(self) -> int:
+        """All vector-engine instructions."""
+        return self.vector_fma + self.vector_load + self.vector_store
+
+    @property
+    def tile_total(self) -> int:
+        """All VEGETA tile instructions."""
+        return self.tile_compute + self.tile_load + self.tile_store
+
+
+def summarize_trace(trace: Iterable[TraceOp]) -> TraceSummary:
+    """Count the instruction mix of a trace."""
+    summary = TraceSummary()
+    for op in trace:
+        summary.total += 1
+        summary.memory_bytes += op.memory_bytes
+        if op.kind is TraceOpKind.TILE:
+            opcode = op.tile.opcode
+            summary.by_opcode[opcode.value] = summary.by_opcode.get(opcode.value, 0) + 1
+            if opcode.is_compute:
+                summary.tile_compute += 1
+            elif opcode.is_load:
+                summary.tile_load += 1
+            else:
+                summary.tile_store += 1
+        elif op.kind is TraceOpKind.VECTOR_FMA:
+            summary.vector_fma += 1
+        elif op.kind is TraceOpKind.VECTOR_LOAD:
+            summary.vector_load += 1
+        elif op.kind is TraceOpKind.VECTOR_STORE:
+            summary.vector_store += 1
+        elif op.kind is TraceOpKind.SCALAR:
+            summary.scalar += 1
+        else:
+            summary.branch += 1
+    return summary
+
+
+def trace_memory_footprint(trace: Iterable[TraceOp]) -> List[Tuple[int, int]]:
+    """Unique (address, nbytes) regions referenced by a trace.
+
+    Used by the simulator to pre-warm the L2 when modelling the paper's
+    "data is prefetched into L2" assumption.
+    """
+    regions = {}
+    for op in trace:
+        if op.kind is TraceOpKind.TILE and op.tile.memory is not None:
+            regions[(op.tile.memory.address, op.tile.memory.nbytes)] = True
+        elif op.is_memory and op.address is not None:
+            regions[(op.address, op.nbytes)] = True
+    return sorted(regions.keys())

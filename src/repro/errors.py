@@ -1,0 +1,49 @@
+"""Exception hierarchy for the VEGETA reproduction library.
+
+Every error raised by ``repro`` derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate between configuration problems, ISA-level violations and
+simulation failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An engine, core or cache configuration is internally inconsistent."""
+
+
+class SparsityError(ReproError):
+    """A matrix or tile violates the sparsity pattern it claims to have."""
+
+
+class CompressionError(SparsityError):
+    """A compressed tile / metadata pair is malformed or does not round-trip."""
+
+
+class IsaError(ReproError):
+    """An instruction is malformed (bad opcode, operand kind, register index)."""
+
+
+class RegisterError(IsaError):
+    """A register access is out of range or violates aliasing rules."""
+
+
+class ExecutionError(ReproError):
+    """The functional model could not execute an instruction."""
+
+
+class SimulationError(ReproError):
+    """The cycle-approximate simulator reached an inconsistent state."""
+
+
+class KernelError(ReproError):
+    """A kernel generator was asked to produce an impossible tiling."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is invalid (non-positive dims, unknown name)."""

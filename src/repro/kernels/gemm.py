@@ -1,0 +1,277 @@
+"""Dense tiled GEMM kernels using the VEGETA ``TILE_GEMM`` instruction.
+
+Two kernel variants are provided, matching the paper's methodology:
+
+* ``"listing1"`` — the straightforward kernel of Listing 1, which reloads and
+  stores the C tile on every K-step,
+* ``"optimized"`` — the register-blocked kernel actually used for the
+  evaluation: C is loaded once per output tile, kept in ``treg0`` across the
+  K loop (creating the accumulator dependence chain that output forwarding
+  resolves), and A/B loads are double-buffered across alternating registers
+  so they overlap with compute.
+
+Kernels can be built *with data* (a full memory image for functional
+validation) or *trace-only* (for large Table IV layers where only timing is
+needed).  ``max_output_tiles`` truncates the trace to the first few C tiles
+so big layers stay tractable in the pure-Python simulator; the resulting
+:class:`~repro.kernels.program.KernelProgram` records the covered fraction so
+runtimes can be scaled back up.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core import isa
+from ..core.memory_image import ByteMemory
+from ..core.registers import treg
+from ..cpu.trace import TraceOp, branch_op, scalar_op, tile_op
+from ..errors import KernelError
+from ..types import DType, GemmShape, SparsityPattern
+from .program import KernelProgram
+from .tiling import MatrixTileLayout, TILE_M, TILE_N, TileGrid, align_up
+
+#: Scalar/branch overhead charged per K-iteration of the tiled loop nest.
+K_LOOP_SCALARS = 2
+K_LOOP_BRANCHES = 1
+
+#: Scalar/branch overhead charged per output tile (loop setup, address math).
+TILE_LOOP_SCALARS = 4
+TILE_LOOP_BRANCHES = 1
+
+
+def _plan_layouts(grid: TileGrid) -> dict:
+    """Assign non-overlapping memory regions to A, B^T and C tile images."""
+    a_tile_bytes = 1024
+    b_tile_bytes = 1024 * grid.pattern.compression_ratio if grid.pattern is not SparsityPattern.DENSE_4_4 else 1024
+    c_tile_bytes = 1024
+    base = 0x10000
+    a_layout = MatrixTileLayout(
+        base_address=base,
+        tiles_rows=grid.tiles_m,
+        tiles_cols=grid.tiles_k,
+        tile_bytes=a_tile_bytes,
+        name="A",
+    )
+    b_base = align_up(a_layout.end_address)
+    b_layout = MatrixTileLayout(
+        base_address=b_base,
+        tiles_rows=grid.tiles_n,
+        tiles_cols=grid.tiles_k,
+        tile_bytes=b_tile_bytes,
+        name="B^T",
+    )
+    c_base = align_up(b_layout.end_address)
+    c_layout = MatrixTileLayout(
+        base_address=c_base,
+        tiles_rows=grid.tiles_m,
+        tiles_cols=grid.tiles_n,
+        tile_bytes=c_tile_bytes,
+        name="C",
+    )
+    metadata_base = align_up(c_layout.end_address)
+    return {
+        "a": a_layout,
+        "b": b_layout,
+        "c": c_layout,
+        "metadata_base": metadata_base,
+    }
+
+
+def _fill_dense_operands(
+    memory: ByteMemory,
+    grid: TileGrid,
+    layouts: dict,
+    a: np.ndarray,
+    b: np.ndarray,
+) -> None:
+    """Write padded A tiles and transposed B tiles into the memory image."""
+    padded = grid.padded_shape
+    a_padded = np.zeros((padded.m, padded.k), dtype=np.float32)
+    a_padded[: a.shape[0], : a.shape[1]] = a
+    b_padded = np.zeros((padded.k, padded.n), dtype=np.float32)
+    b_padded[: b.shape[0], : b.shape[1]] = b
+    tile_k = grid.tile_k
+    for i in range(grid.tiles_m):
+        for k in range(grid.tiles_k):
+            tile = a_padded[
+                i * TILE_M : (i + 1) * TILE_M, k * tile_k : (k + 1) * tile_k
+            ]
+            memory.write_matrix(layouts["a"].tile_address(i, k), tile, DType.BF16)
+    for j in range(grid.tiles_n):
+        for k in range(grid.tiles_k):
+            tile = b_padded[
+                k * tile_k : (k + 1) * tile_k, j * TILE_N : (j + 1) * TILE_N
+            ]
+            memory.write_matrix(layouts["b"].tile_address(j, k), tile.T, DType.BF16)
+
+
+def build_dense_gemm_kernel(
+    shape: GemmShape,
+    *,
+    a: Optional[np.ndarray] = None,
+    b: Optional[np.ndarray] = None,
+    variant: str = "optimized",
+    include_loop_overhead: bool = True,
+    max_output_tiles: Optional[int] = None,
+) -> KernelProgram:
+    """Build a dense (4:4) tiled GEMM kernel.
+
+    Parameters
+    ----------
+    shape:
+        The C(MxN) += A(MxK) x B(KxN) problem dimensions.
+    a, b:
+        Optional operand matrices; when both are provided the kernel carries
+        a memory image and can be validated functionally.
+    variant:
+        ``"optimized"`` (default) or ``"listing1"``.
+    include_loop_overhead:
+        Emit the scalar/branch loop-overhead instructions (on by default; the
+        instruction-count studies rely on them).
+    max_output_tiles:
+        If set, only the first ``max_output_tiles`` C tiles are traced and the
+        program's ``simulated_fraction`` records the truncation.
+    """
+    if variant not in ("optimized", "listing1"):
+        raise KernelError(f"unknown GEMM kernel variant {variant!r}")
+    grid = TileGrid(shape=shape, pattern=SparsityPattern.DENSE_4_4)
+    layouts = _plan_layouts(grid)
+
+    memory: Optional[ByteMemory] = None
+    if a is not None or b is not None:
+        if a is None or b is None:
+            raise KernelError("provide both A and B, or neither")
+        a = np.asarray(a, dtype=np.float32)
+        b = np.asarray(b, dtype=np.float32)
+        if a.shape != (shape.m, shape.k) or b.shape != (shape.k, shape.n):
+            raise KernelError(
+                f"operand shapes {a.shape} / {b.shape} do not match GEMM {shape}"
+            )
+        memory = ByteMemory()
+        _fill_dense_operands(memory, grid, layouts, a, b)
+
+    total_tiles = grid.output_tiles
+    traced_tiles = total_tiles if max_output_tiles is None else min(
+        max_output_tiles, total_tiles
+    )
+    trace: List[TraceOp] = []
+    emitted = 0
+
+    if variant == "optimized":
+        # Register blocking: a 2x2 block of C tiles is kept live in treg0-3,
+        # the two A tiles of the current K-step in treg4-5 and the two B tiles
+        # in treg6-7.  Four independent accumulator chains hide the engine's
+        # instruction latency even without output forwarding, which is why a
+        # dense RASA-DM baseline runs near full throughput (Section VI-C).
+        c_regs = (treg(0), treg(1), treg(2), treg(3))
+        a_regs = (treg(4), treg(5))
+        b_regs = (treg(6), treg(7))
+        block_rows = [
+            (i, min(i + 1, grid.tiles_m - 1)) for i in range(0, grid.tiles_m, 2)
+        ]
+        block_cols = [
+            (j, min(j + 1, grid.tiles_n - 1)) for j in range(0, grid.tiles_n, 2)
+        ]
+        for i0, i1 in block_rows:
+            for j0, j1 in block_cols:
+                if emitted >= traced_tiles:
+                    break
+                tiles = []
+                for slot, (i, j) in enumerate(
+                    ((i0, j0), (i0, j1), (i1, j0), (i1, j1))
+                ):
+                    if (i, j) not in [t[1:] for t in tiles]:
+                        tiles.append((slot, i, j))
+                emitted += len(tiles)
+                if include_loop_overhead:
+                    trace.extend(
+                        scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS)
+                    )
+                    trace.append(branch_op("tile-loop"))
+                for slot, i, j in tiles:
+                    trace.append(
+                        tile_op(
+                            isa.tile_load_t(
+                                c_regs[slot], layouts["c"].tile_address(i, j), "load C"
+                            )
+                        )
+                    )
+                for k in range(grid.tiles_k):
+                    for index, i in enumerate(dict.fromkeys((i0, i1))):
+                        trace.append(
+                            tile_op(
+                                isa.tile_load_t(
+                                    a_regs[index], layouts["a"].tile_address(i, k), "load A"
+                                )
+                            )
+                        )
+                    for index, j in enumerate(dict.fromkeys((j0, j1))):
+                        trace.append(
+                            tile_op(
+                                isa.tile_load_t(
+                                    b_regs[index], layouts["b"].tile_address(j, k), "load B"
+                                )
+                            )
+                        )
+                    row_index = {i: idx for idx, i in enumerate(dict.fromkeys((i0, i1)))}
+                    col_index = {j: idx for idx, j in enumerate(dict.fromkeys((j0, j1)))}
+                    for slot, i, j in tiles:
+                        trace.append(
+                            tile_op(
+                                isa.tile_gemm(
+                                    c_regs[slot], a_regs[row_index[i]], b_regs[col_index[j]]
+                                )
+                            )
+                        )
+                    if include_loop_overhead:
+                        trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
+                        trace.append(branch_op("k-loop"))
+                for slot, i, j in tiles:
+                    trace.append(
+                        tile_op(
+                            isa.tile_store_t(
+                                layouts["c"].tile_address(i, j), c_regs[slot], "store C"
+                            )
+                        )
+                    )
+            if emitted >= traced_tiles:
+                break
+    else:  # listing1
+        c_reg = treg(0)
+        a_reg = treg(2)
+        b_reg = treg(4)
+        for i, j in grid.iterate_output_tiles():
+            if emitted >= traced_tiles:
+                break
+            emitted += 1
+            c_address = layouts["c"].tile_address(i, j)
+            if include_loop_overhead:
+                trace.extend(scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS))
+                trace.append(branch_op("tile-loop"))
+            for k in range(grid.tiles_k):
+                trace.append(
+                    tile_op(isa.tile_load_t(b_reg, layouts["b"].tile_address(j, k), "load B"))
+                )
+                trace.append(tile_op(isa.tile_load_t(c_reg, c_address, "load C")))
+                trace.append(
+                    tile_op(isa.tile_load_t(a_reg, layouts["a"].tile_address(i, k), "load A"))
+                )
+                trace.append(tile_op(isa.tile_gemm(c_reg, a_reg, b_reg)))
+                trace.append(tile_op(isa.tile_store_t(c_address, c_reg, "store C")))
+                if include_loop_overhead:
+                    trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
+                    trace.append(branch_op("k-loop"))
+
+    traced = emitted if max_output_tiles is not None else total_tiles
+    return KernelProgram(
+        trace=trace,
+        shape=shape,
+        pattern=SparsityPattern.DENSE_4_4,
+        memory=memory,
+        c_layout=layouts["c"],
+        simulated_fraction=traced / total_tiles,
+        label=f"dense-gemm-{variant}",
+    )

@@ -1,0 +1,119 @@
+"""Kernel programs: the trace + memory image a kernel generator produces.
+
+A :class:`KernelProgram` bundles everything needed to (a) run the kernel on
+the cycle-approximate simulator (the trace), (b) run it on the functional
+model and check numerical correctness (the memory image plus the C layout),
+and (c) report instruction-mix statistics (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.memory_image import ByteMemory
+from ..cpu.trace import TraceOp, TraceSummary, summarize_trace
+from ..errors import KernelError
+from ..types import DType, GemmShape, SparsityPattern
+from .tiling import MatrixTileLayout, TILE_M, TILE_N
+
+
+@dataclass
+class KernelProgram:
+    """A generated kernel: instruction trace plus (optional) data image.
+
+    Attributes
+    ----------
+    trace:
+        The dynamic instruction trace in program order.
+    shape:
+        The (unpadded) GEMM problem dimensions.
+    pattern:
+        The A-operand sparsity pattern the kernel exploits.
+    memory:
+        The flat memory image holding A/B/C, present only when the kernel was
+        built with data (trace-only builds leave it ``None``).
+    c_layout:
+        Tile layout of the C matrix in the memory image.
+    c_row_permutation:
+        If the kernel reordered C rows (pseudo row-wise DMA reordering), the
+        permutation mapping stored row -> original row; ``None`` otherwise.
+    rowwise_patterns:
+        Per-A-tile row patterns keyed by the tile's memory address, needed by
+        the functional model to execute ``TILE_SPMM_R``.
+    simulated_fraction:
+        Fraction of the full kernel the trace covers (1.0 unless the builder
+        was asked to truncate for tractable simulation); runtimes should be
+        scaled by its inverse.
+    """
+
+    trace: List[TraceOp]
+    shape: GemmShape
+    pattern: SparsityPattern
+    memory: Optional[ByteMemory] = None
+    c_layout: Optional[MatrixTileLayout] = None
+    c_row_permutation: Optional[Tuple[int, ...]] = None
+    rowwise_patterns: Dict[int, Tuple[SparsityPattern, ...]] = field(default_factory=dict)
+    simulated_fraction: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.simulated_fraction <= 1.0:
+            raise KernelError(
+                f"simulated_fraction must be in (0, 1], got {self.simulated_fraction}"
+            )
+
+    @property
+    def instruction_count(self) -> int:
+        """Dynamic instructions in the (possibly truncated) trace."""
+        return len(self.trace)
+
+    def summary(self) -> TraceSummary:
+        """Instruction-mix summary of the trace."""
+        return summarize_trace(self.trace)
+
+    @property
+    def has_data(self) -> bool:
+        """True when the kernel carries a memory image for functional runs."""
+        return self.memory is not None and self.c_layout is not None
+
+    # -- result extraction ------------------------------------------------------
+
+    def read_result(self) -> np.ndarray:
+        """Assemble the C matrix from the memory image after execution.
+
+        The kernel must have been built with data and executed (functionally)
+        against its own ``memory``; stores write C back into that image.
+        Padding rows/columns are cropped and any DMA row reordering undone.
+        """
+        if not self.has_data:
+            raise KernelError("this kernel was built trace-only; no data to read back")
+        layout = self.c_layout
+        rows = layout.tiles_rows * TILE_M
+        cols = layout.tiles_cols * TILE_N
+        result = np.zeros((rows, cols), dtype=np.float32)
+        for tile_row in range(layout.tiles_rows):
+            for tile_col in range(layout.tiles_cols):
+                address = layout.tile_address(tile_row, tile_col)
+                tile = self.memory.read_matrix(address, TILE_M, TILE_N, DType.FP32)
+                result[
+                    tile_row * TILE_M : (tile_row + 1) * TILE_M,
+                    tile_col * TILE_N : (tile_col + 1) * TILE_N,
+                ] = tile
+        if self.c_row_permutation is not None:
+            restored = np.zeros_like(result)
+            for stored_row, original_row in enumerate(self.c_row_permutation):
+                if original_row < rows:
+                    restored[original_row] = result[stored_row]
+            result = restored
+        return result[: self.shape.m, : self.shape.n]
+
+
+def loop_overhead_ops(scalars: int, branches: int, make_scalar, make_branch) -> List[TraceOp]:
+    """Produce the scalar/branch overhead ops a loop iteration contributes."""
+    ops: List[TraceOp] = []
+    ops.extend(make_scalar() for _ in range(scalars))
+    ops.extend(make_branch() for _ in range(branches))
+    return ops

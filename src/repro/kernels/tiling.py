@@ -1,0 +1,166 @@
+"""Tiling and memory-layout decisions shared by the kernel generators.
+
+A GEMM/SPMM kernel partitions C(MxN) += A(MxK) x B(KxN) into tiles that fit
+the VEGETA registers (Section IV-B):
+
+* C tiles are always 16 x 16 (FP32, 1 KB),
+* A tiles are 16 x Tk where Tk = 32 x (compression ratio): 32 for dense 4:4,
+  64 for 2:4 and 128 for 1:4 (the stored non-zeros always fit a 1 KB treg),
+* B tiles are Tk x 16 and are stored *transposed* so each one is a contiguous
+  1 / 2 / 4 KB register image.
+
+:class:`TileGrid` rounds the problem up to whole tiles and enumerates tile
+coordinates; :class:`MatrixTileLayout` assigns every tile a byte address in
+the flat kernel memory image so loads/stores can be emitted (and the
+functional model can verify results).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..errors import KernelError
+from ..types import GemmShape, SparsityPattern, TILE_FP32_COLS, TILE_ROWS
+
+#: Dense (4:4) K-extent of one A tile / one tile instruction.
+BASE_TILE_K = 32
+
+#: Rows of an A/C tile (and columns of a C tile).
+TILE_M = TILE_ROWS  # 16
+TILE_N = TILE_FP32_COLS  # 16
+
+
+def tile_k_for_pattern(pattern: SparsityPattern) -> int:
+    """Effective K covered by one tile instruction for a given A pattern."""
+    if pattern is SparsityPattern.ROW_WISE:
+        # TILE_SPMM_R always covers an effective width of 64 (Section IV-B).
+        return 64
+    return BASE_TILE_K * pattern.compression_ratio
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """The tile decomposition of one GEMM problem for one A-sparsity pattern."""
+
+    shape: GemmShape
+    pattern: SparsityPattern
+
+    def __post_init__(self) -> None:
+        if self.pattern is SparsityPattern.ROW_WISE:
+            raise KernelError(
+                "row-wise kernels use their own packing; TileGrid handles fixed N:4"
+            )
+
+    @property
+    def tile_m(self) -> int:
+        """Rows of C covered per tile."""
+        return TILE_M
+
+    @property
+    def tile_n(self) -> int:
+        """Columns of C covered per tile."""
+        return TILE_N
+
+    @property
+    def tile_k(self) -> int:
+        """Effective K covered per tile instruction."""
+        return tile_k_for_pattern(self.pattern)
+
+    @property
+    def padded_shape(self) -> GemmShape:
+        """Problem dimensions rounded up to whole tiles."""
+        return self.shape.padded(self.tile_m, self.tile_n, self.tile_k)
+
+    @property
+    def tiles_m(self) -> int:
+        """Number of tile rows of C."""
+        return self.padded_shape.m // self.tile_m
+
+    @property
+    def tiles_n(self) -> int:
+        """Number of tile columns of C."""
+        return self.padded_shape.n // self.tile_n
+
+    @property
+    def tiles_k(self) -> int:
+        """Number of K-steps (tile instructions per C tile)."""
+        return self.padded_shape.k // self.tile_k
+
+    @property
+    def output_tiles(self) -> int:
+        """Number of C tiles."""
+        return self.tiles_m * self.tiles_n
+
+    @property
+    def compute_instructions(self) -> int:
+        """Total tile GEMM/SPMM instructions the kernel will issue."""
+        return self.output_tiles * self.tiles_k
+
+    def iterate_output_tiles(self) -> Iterator[Tuple[int, int]]:
+        """Yield (i, j) tile coordinates of C in row-major order."""
+        for i in range(self.tiles_m):
+            for j in range(self.tiles_n):
+                yield i, j
+
+    def describe(self) -> dict:
+        """Human-readable summary used by examples and benchmarks."""
+        return {
+            "pattern": self.pattern.value,
+            "tile_m": self.tile_m,
+            "tile_n": self.tile_n,
+            "tile_k": self.tile_k,
+            "tiles_m": self.tiles_m,
+            "tiles_n": self.tiles_n,
+            "tiles_k": self.tiles_k,
+            "compute_instructions": self.compute_instructions,
+        }
+
+
+@dataclass(frozen=True)
+class MatrixTileLayout:
+    """Byte addresses of a matrix stored tile-by-tile in the kernel image.
+
+    Tiles are stored contiguously in row-major tile order; ``tile_bytes`` is
+    the size of one tile's register image.
+    """
+
+    base_address: int
+    tiles_rows: int
+    tiles_cols: int
+    tile_bytes: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.base_address < 0 or self.tile_bytes <= 0:
+            raise KernelError(f"invalid layout for {self.name or 'matrix'}")
+        if self.tiles_rows <= 0 or self.tiles_cols <= 0:
+            raise KernelError(f"empty tile grid for {self.name or 'matrix'}")
+
+    def tile_address(self, row: int, col: int) -> int:
+        """Address of tile (row, col)."""
+        if not (0 <= row < self.tiles_rows and 0 <= col < self.tiles_cols):
+            raise KernelError(
+                f"tile ({row}, {col}) outside grid "
+                f"{self.tiles_rows}x{self.tiles_cols} of {self.name or 'matrix'}"
+            )
+        index = row * self.tiles_cols + col
+        return self.base_address + index * self.tile_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes occupied by the whole matrix image."""
+        return self.tiles_rows * self.tiles_cols * self.tile_bytes
+
+    @property
+    def end_address(self) -> int:
+        """One past the last byte of the matrix image."""
+        return self.base_address + self.total_bytes
+
+
+def align_up(address: int, alignment: int = 4096) -> int:
+    """Round an address up to the given alignment (page-aligned by default)."""
+    if alignment <= 0:
+        raise KernelError(f"invalid alignment {alignment}")
+    return int(math.ceil(address / alignment) * alignment)

@@ -1,0 +1,149 @@
+"""Pruning utilities: turning dense matrices into structured sparse ones.
+
+The paper assumes weights have already been pruned offline (Section VI-B);
+runtime never depends on weight values, only on the sparsity pattern.  To
+drive the simulator we therefore need synthetic pruned matrices, and this
+module provides the standard magnitude-pruning procedures used by the N:M
+sparsity literature the paper cites ([52], [55]):
+
+* :func:`prune_nm` — keep the N largest-magnitude entries of every block of
+  M elements (produces layer-/tile-wise N:M sparsity),
+* :func:`prune_unstructured` — keep the globally largest entries to reach a
+  target sparsity degree (produces unstructured sparsity),
+* :func:`prune_rowwise` — give every row its own N:4 pattern drawn from the
+  supported set, used to generate intrinsically row-wise sparse workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import SparsityError
+from ..types import BLOCK_SIZE_M, SparsityPattern
+from .blocks import as_blocks
+
+
+def prune_nm(
+    matrix: np.ndarray,
+    n: int,
+    m: int = BLOCK_SIZE_M,
+) -> np.ndarray:
+    """Magnitude-prune a matrix to N:M structured sparsity.
+
+    Within every block of ``m`` consecutive elements along a row, only the
+    ``n`` largest-magnitude elements are kept; the rest are zeroed.  Ties are
+    broken toward lower column indices (numpy argsort stability).
+    """
+    if not 0 < n <= m:
+        raise SparsityError(f"invalid N:M pruning target {n}:{m}")
+    matrix = np.asarray(matrix, dtype=np.float32)
+    blocks = as_blocks(matrix, m).copy()
+    magnitudes = np.abs(blocks)
+    # Indices of the (m - n) smallest magnitudes in each block get zeroed.
+    order = np.argsort(magnitudes, axis=2, kind="stable")
+    drop = order[:, :, : m - n]
+    rows_idx, blocks_idx = np.meshgrid(
+        np.arange(blocks.shape[0]), np.arange(blocks.shape[1]), indexing="ij"
+    )
+    for k in range(m - n):
+        blocks[rows_idx, blocks_idx, drop[:, :, k]] = 0.0
+    return blocks.reshape(matrix.shape)
+
+
+def prune_to_pattern(
+    matrix: np.ndarray, pattern: SparsityPattern
+) -> np.ndarray:
+    """Prune to one of the fixed hardware-supported patterns (1:4/2:4/4:4)."""
+    if pattern is SparsityPattern.ROW_WISE:
+        raise SparsityError("use prune_rowwise for row-wise pruning")
+    if pattern is SparsityPattern.DENSE_4_4:
+        return np.asarray(matrix, dtype=np.float32).copy()
+    return prune_nm(matrix, pattern.n, pattern.m)
+
+
+def prune_unstructured(
+    matrix: np.ndarray,
+    sparsity_degree: float,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Prune to a target unstructured sparsity degree by global magnitude.
+
+    ``sparsity_degree`` is the fraction of elements to zero (e.g. 0.95 keeps
+    the top 5 % magnitudes).  When several elements tie at the threshold the
+    choice among them is randomised with ``rng`` to avoid systematic column
+    bias in synthetic integer-valued matrices.
+    """
+    if not 0.0 <= sparsity_degree < 1.0:
+        raise SparsityError(
+            f"sparsity degree must be in [0, 1), got {sparsity_degree}"
+        )
+    matrix = np.asarray(matrix, dtype=np.float32)
+    total = matrix.size
+    n_zero = int(round(total * sparsity_degree))
+    if n_zero == 0:
+        return matrix.copy()
+    flat = np.abs(matrix).ravel()
+    if rng is not None:
+        # Random tie-break: add tiny noise strictly below the magnitude gap.
+        jitter = rng.random(total) * 1e-12
+        flat = flat + jitter
+    order = np.argsort(flat, kind="stable")
+    pruned = matrix.copy().ravel()
+    pruned[order[:n_zero]] = 0.0
+    return pruned.reshape(matrix.shape)
+
+
+def prune_rowwise(
+    matrix: np.ndarray,
+    row_patterns: Sequence[SparsityPattern],
+) -> np.ndarray:
+    """Prune each row to its own N:4 pattern.
+
+    ``row_patterns`` must have one entry per matrix row; rows marked 4:4 are
+    left dense.
+    """
+    matrix = np.asarray(matrix, dtype=np.float32)
+    if matrix.ndim != 2:
+        raise SparsityError(f"expected a 2-D matrix, got ndim={matrix.ndim}")
+    if len(row_patterns) != matrix.shape[0]:
+        raise SparsityError(
+            f"need {matrix.shape[0]} row patterns, got {len(row_patterns)}"
+        )
+    pruned = matrix.copy()
+    for row, pattern in enumerate(row_patterns):
+        if pattern is SparsityPattern.ROW_WISE:
+            raise SparsityError("a single row cannot be 'row-wise'")
+        if pattern is SparsityPattern.DENSE_4_4:
+            continue
+        pruned[row : row + 1] = prune_nm(matrix[row : row + 1], pattern.n)
+    return pruned
+
+
+def random_rowwise_patterns(
+    rows: int,
+    *,
+    rng: np.random.Generator,
+    weights: Optional[Sequence[float]] = None,
+) -> list:
+    """Draw a random supported N:4 pattern for each row.
+
+    ``weights`` gives the selection probability of (1:4, 2:4, 4:4); the
+    default is uniform.
+    """
+    choices = [
+        SparsityPattern.SPARSE_1_4,
+        SparsityPattern.SPARSE_2_4,
+        SparsityPattern.DENSE_4_4,
+    ]
+    if weights is None:
+        probabilities = np.full(3, 1.0 / 3.0)
+    else:
+        probabilities = np.asarray(weights, dtype=np.float64)
+        if probabilities.shape != (3,) or probabilities.sum() <= 0:
+            raise SparsityError("weights must be 3 non-negative values")
+        probabilities = probabilities / probabilities.sum()
+    drawn = rng.choice(3, size=rows, p=probabilities)
+    return [choices[index] for index in drawn]

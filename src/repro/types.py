@@ -1,0 +1,220 @@
+"""Shared value types used across the VEGETA reproduction library.
+
+The paper fixes a small set of structural constants (tile geometry, element
+widths, block size M = 4) that many packages need.  They live here, together
+with the enums describing data types and sparsity patterns, so that
+``repro.sparse``, ``repro.core`` and ``repro.kernels`` agree on them without
+circular imports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+# ---------------------------------------------------------------------------
+# Structural constants from the paper (Section IV).
+# ---------------------------------------------------------------------------
+
+#: Number of rows in a tile register (16 rows of 64 bytes = 1 KB).
+TILE_ROWS = 16
+
+#: Bytes per tile-register row (one cache line).
+TILE_ROW_BYTES = 64
+
+#: Bytes in a tile register.
+TILE_REG_BYTES = TILE_ROWS * TILE_ROW_BYTES  # 1024
+
+#: BF16 elements per tile-register row (64 B / 2 B).
+TILE_BF16_COLS = 32
+
+#: FP32 elements per tile-register row (64 B / 4 B).
+TILE_FP32_COLS = 16
+
+#: The block size M of the N:M structured sparsity supported in the paper.
+BLOCK_SIZE_M = 4
+
+#: Bits of metadata per non-zero element (log2 of the block size).
+METADATA_BITS_PER_NNZ = 2
+
+#: Bytes in a metadata register: 16 rows x 32 nnz x 2 bits = 128 B.
+METADATA_REG_BYTES = 128
+
+#: Number of architectural tile registers (treg0..treg7).
+NUM_TILE_REGS = 8
+
+#: Number of architectural metadata registers (mreg0..mreg7).
+NUM_METADATA_REGS = 8
+
+#: Useful MAC operations per tile GEMM/SPMM instruction (16 x 16 x 32).
+MACS_PER_TILE_INSTRUCTION = 8192
+
+#: Effectual MACs contributing to each output element of a tile instruction.
+MACS_PER_OUTPUT_ELEMENT = 32
+
+
+class DType(enum.Enum):
+    """Element data types used by the VEGETA ISA (mixed precision BF16/FP32)."""
+
+    BF16 = "bf16"
+    FP32 = "fp32"
+
+    @property
+    def nbytes(self) -> int:
+        """Size of one element in bytes."""
+        return 2 if self is DType.BF16 else 4
+
+    def elements_per_row(self) -> int:
+        """How many elements of this type fit in one 64-byte tile row."""
+        return TILE_ROW_BYTES // self.nbytes
+
+
+class SparsityPattern(enum.Enum):
+    """The N:M fine-grained structured sparsity patterns supported by VEGETA.
+
+    ``N`` is the maximum number of non-zeros per block of ``M`` (=4)
+    consecutive elements along a row.  ``DENSE_4_4`` is the degenerate dense
+    case, ``ROW_WISE`` means every row may independently use 1:4, 2:4 or 4:4.
+    """
+
+    DENSE_4_4 = "4:4"
+    SPARSE_2_4 = "2:4"
+    SPARSE_1_4 = "1:4"
+    ROW_WISE = "row-wise"
+
+    @property
+    def n(self) -> int:
+        """Non-zeros per block for fixed patterns.
+
+        Raises :class:`ConfigurationError` for the row-wise pattern, where N
+        varies per row.
+        """
+        if self is SparsityPattern.DENSE_4_4:
+            return 4
+        if self is SparsityPattern.SPARSE_2_4:
+            return 2
+        if self is SparsityPattern.SPARSE_1_4:
+            return 1
+        raise ConfigurationError("row-wise sparsity has no single N value")
+
+    @property
+    def m(self) -> int:
+        """Block size (always 4 for the configurations studied in the paper)."""
+        return BLOCK_SIZE_M
+
+    @property
+    def compression_ratio(self) -> int:
+        """Ratio of effective (uncompressed) columns to stored columns."""
+        if self is SparsityPattern.ROW_WISE:
+            raise ConfigurationError(
+                "row-wise sparsity has no single compression ratio"
+            )
+        return BLOCK_SIZE_M // self.n
+
+    @property
+    def density(self) -> float:
+        """Fraction of elements that may be non-zero under this pattern."""
+        if self is SparsityPattern.ROW_WISE:
+            raise ConfigurationError("row-wise sparsity has no single density")
+        return self.n / BLOCK_SIZE_M
+
+    @classmethod
+    def from_n(cls, n: int) -> "SparsityPattern":
+        """Return the fixed pattern with ``n`` non-zeros per block of 4."""
+        mapping = {4: cls.DENSE_4_4, 2: cls.SPARSE_2_4, 1: cls.SPARSE_1_4}
+        if n not in mapping:
+            raise ConfigurationError(
+                f"unsupported N for N:4 sparsity: {n!r} (expected 1, 2 or 4)"
+            )
+        return mapping[n]
+
+
+class SparsityGranularity(enum.Enum):
+    """Granularity at which an N:M pattern is allowed to vary (Table I)."""
+
+    NETWORK_WISE = "network-wise"
+    LAYER_WISE = "layer-wise"
+    TILE_WISE = "tile-wise"
+    PSEUDO_ROW_WISE = "pseudo-row-wise"
+    ROW_WISE = "row-wise"
+    UNSTRUCTURED = "unstructured"
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """Logical shape of a (possibly effective) tile in elements."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ConfigurationError(
+                f"tile dimensions must be positive, got {self.rows}x{self.cols}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of elements in the tile."""
+        return self.rows * self.cols
+
+    def nbytes(self, dtype: DType) -> int:
+        """Bytes needed to store the tile densely with ``dtype`` elements."""
+        return self.size * dtype.nbytes
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Dimensions of a C(MxN) += A(MxK) x B(KxN) GEMM problem."""
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) <= 0:
+            raise ConfigurationError(
+                f"GEMM dimensions must be positive, got {self.m}x{self.n}x{self.k}"
+            )
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulate operations in the dense GEMM."""
+        return self.m * self.n * self.k
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations (2 per MAC)."""
+        return 2 * self.macs
+
+    def padded(self, tm: int, tn: int, tk: int) -> "GemmShape":
+        """Return the shape rounded up to multiples of the given tile sizes."""
+
+        def _round_up(value: int, multiple: int) -> int:
+            return ((value + multiple - 1) // multiple) * multiple
+
+        return GemmShape(
+            m=_round_up(self.m, tm),
+            n=_round_up(self.n, tn),
+            k=_round_up(self.k, tk),
+        )
+
+
+def bf16_round(values: np.ndarray) -> np.ndarray:
+    """Round a float32 array to BF16 precision, returned as float32.
+
+    BF16 keeps the 8-bit exponent of float32 and truncates the mantissa to
+    7 bits.  We model it by round-to-nearest-even on the upper 16 bits of the
+    IEEE-754 binary32 representation, which is what mixed-precision hardware
+    (including the paper's BF16 MACs) does for operand conversion.
+    """
+    arr = np.asarray(values, dtype=np.float32)
+    as_int = arr.view(np.uint32)
+    # Round to nearest even on bit 16.
+    rounding_bias = ((as_int >> 16) & 1) + np.uint32(0x7FFF)
+    rounded = (as_int + rounding_bias) & np.uint32(0xFFFF0000)
+    return rounded.view(np.float32)

@@ -1,0 +1,39 @@
+"""Evaluation workloads: the Table IV layers, synthetic operands and sweeps."""
+
+from .generator import (
+    GeneratedOperands,
+    generate_dense,
+    generate_structured,
+    generate_unstructured,
+    scaled_problem,
+)
+from .layers import TABLE_IV_MACS, WorkloadLayer, all_layers, get_layer, layers_by_model
+from .sweeps import (
+    FIGURE13_PATTERNS,
+    FIGURE15_SPARSITY_DEGREES,
+    FIGURE4_GEMM_SIZES,
+    SweepPoint,
+    figure13_sweep,
+    figure15_sweep,
+    iterate_layer_patterns,
+)
+
+__all__ = [
+    "FIGURE13_PATTERNS",
+    "FIGURE15_SPARSITY_DEGREES",
+    "FIGURE4_GEMM_SIZES",
+    "GeneratedOperands",
+    "SweepPoint",
+    "TABLE_IV_MACS",
+    "WorkloadLayer",
+    "all_layers",
+    "figure13_sweep",
+    "figure15_sweep",
+    "generate_dense",
+    "generate_structured",
+    "generate_unstructured",
+    "get_layer",
+    "iterate_layer_patterns",
+    "layers_by_model",
+    "scaled_problem",
+]

@@ -1,0 +1,66 @@
+"""Parameter sweeps used by the benchmark harness.
+
+The evaluation section varies three axes: the DNN layer (Table IV), the
+structured sparsity pattern applied to the weights (4:4 / 2:4 / 1:4), and —
+for the unstructured study of Figure 15 — the sparsity degree (60 %..95 %).
+These helpers enumerate the cross products so benchmark modules stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..types import SparsityPattern
+from .layers import WorkloadLayer, all_layers
+
+#: The structured sparsity patterns evaluated in Figure 13.
+FIGURE13_PATTERNS: Tuple[SparsityPattern, ...] = (
+    SparsityPattern.DENSE_4_4,
+    SparsityPattern.SPARSE_2_4,
+    SparsityPattern.SPARSE_1_4,
+)
+
+#: The sparsity degrees swept in Figure 15 (percent).
+FIGURE15_SPARSITY_DEGREES: Tuple[float, ...] = (0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95)
+
+#: GEMM dimension sizes swept in Figure 4.
+FIGURE4_GEMM_SIZES: Tuple[int, ...] = (32, 64, 128)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (layer, pattern) combination of the Figure 13 sweep."""
+
+    layer: WorkloadLayer
+    pattern: SparsityPattern
+
+    @property
+    def key(self) -> str:
+        """Stable identifier for result tables."""
+        return f"{self.layer.name}/{self.pattern.value}"
+
+
+def figure13_sweep(
+    layers: Sequence[WorkloadLayer] = None,
+    patterns: Sequence[SparsityPattern] = FIGURE13_PATTERNS,
+) -> List[SweepPoint]:
+    """Every (layer, pattern) point of the Figure 13 runtime comparison."""
+    chosen = list(layers) if layers is not None else all_layers()
+    return [SweepPoint(layer=layer, pattern=pattern) for layer in chosen for pattern in patterns]
+
+
+def figure15_sweep(
+    degrees: Sequence[float] = FIGURE15_SPARSITY_DEGREES,
+) -> List[float]:
+    """The unstructured sparsity degrees of Figure 15."""
+    return [float(degree) for degree in degrees]
+
+
+def iterate_layer_patterns(
+    patterns: Sequence[SparsityPattern] = FIGURE13_PATTERNS,
+) -> Iterator[Tuple[WorkloadLayer, SparsityPattern]]:
+    """Generator form of :func:`figure13_sweep` for streaming consumers."""
+    for layer in all_layers():
+        for pattern in patterns:
+            yield layer, pattern

@@ -1,0 +1,43 @@
+"""Cross-model consistency checks between independent parts of the library."""
+
+import pytest
+
+from repro.analysis.granularity import row_wise_speedup
+from repro.analysis.instruction_model import matrix_instruction_estimate
+from repro.core.rowwise_mapping import pack_rows
+from repro.kernels.gemm import build_dense_gemm_kernel
+from repro.kernels.spmm import build_spmm_kernel
+from repro.sparse.blocks import minimal_row_patterns
+from repro.types import GemmShape, SparsityPattern
+from repro.workloads.generator import generate_unstructured
+from repro.workloads.layers import all_layers
+
+
+class TestKernelVsAnalyticalModels:
+    def test_compute_instruction_ratio_matches_compression_ratio(self):
+        """The kernel generator and the pattern's compression ratio agree."""
+        shape = GemmShape(m=128, n=128, k=512)
+        dense = build_dense_gemm_kernel(shape).summary().tile_compute
+        for pattern in (SparsityPattern.SPARSE_2_4, SparsityPattern.SPARSE_1_4):
+            sparse = build_spmm_kernel(shape, pattern).summary().tile_compute
+            assert dense == sparse * pattern.compression_ratio
+
+    def test_instruction_estimate_consistent_across_layers(self):
+        for layer in all_layers()[:4]:
+            estimate = matrix_instruction_estimate(layer.gemm)
+            assert estimate == build_dense_gemm_kernel(layer.gemm).instruction_count
+
+
+class TestGranularityVsMapping:
+    def test_rowwise_speedup_agrees_with_packing_plan(self, rng):
+        """The Figure 15 model and the Section V-E packing agree on occupancy."""
+        shape = GemmShape(m=64, n=16, k=64)
+        data = generate_unstructured(shape, 0.9, seed=0)
+        analytical = row_wise_speedup(data.a)
+        patterns = minimal_row_patterns(data.a)
+        plan = pack_rows(patterns)
+        # Column shares: the packing plan's average occupancy corresponds to
+        # 1/analytical-speedup per covered row (up to the plan's group
+        # quantisation, hence the loose tolerance).
+        occupancy = sum(group.occupied_columns for group in plan.groups) / len(patterns)
+        assert occupancy == pytest.approx(1.0 / analytical, rel=0.25)

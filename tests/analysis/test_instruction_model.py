@@ -1,0 +1,49 @@
+"""Tests for the Figure 4 instruction-count model."""
+
+import pytest
+
+from repro.analysis.instruction_model import (
+    figure4_instruction_counts,
+    instruction_ratio_table,
+    matrix_instruction_estimate,
+)
+from repro.kernels.gemm import build_dense_gemm_kernel
+from repro.kernels.spmm import build_spmm_kernel
+from repro.types import GemmShape, SparsityPattern
+
+
+class TestMatrixEstimate:
+    def test_matches_generated_dense_kernel(self):
+        shape = GemmShape(64, 64, 128)
+        assert matrix_instruction_estimate(shape) == build_dense_gemm_kernel(shape).instruction_count
+
+    def test_matches_generated_sparse_kernel(self):
+        shape = GemmShape(64, 64, 256)
+        assert matrix_instruction_estimate(
+            shape, SparsityPattern.SPARSE_2_4
+        ) == build_spmm_kernel(shape, SparsityPattern.SPARSE_2_4).instruction_count
+
+    def test_sparse_kernels_need_fewer_instructions(self):
+        shape = GemmShape(64, 64, 512)
+        dense = matrix_instruction_estimate(shape)
+        sparse = matrix_instruction_estimate(shape, SparsityPattern.SPARSE_1_4)
+        assert sparse < dense
+
+
+class TestFigure4:
+    def test_three_points_by_default(self):
+        points = figure4_instruction_counts()
+        assert [point.dimension for point in points] == [32, 64, 128]
+
+    def test_ratios_in_the_tens(self):
+        # Figure 4 reports vector/matrix instruction ratios between ~20 and ~60.
+        for dimension, ratio in instruction_ratio_table().items():
+            assert 10 < ratio < 150, f"dimension {dimension} ratio {ratio}"
+
+    def test_ratio_grows_with_dimension(self):
+        ratios = instruction_ratio_table()
+        assert ratios[32] < ratios[64] < ratios[128]
+
+    def test_vector_counts_much_larger(self):
+        for point in figure4_instruction_counts():
+            assert point.vector_instructions > 10 * point.matrix_instructions

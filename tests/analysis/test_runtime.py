@@ -1,0 +1,127 @@
+"""Tests for the Figure 13 runtime experiment orchestration."""
+
+import pytest
+
+from repro.analysis.runtime import (
+    FIGURE13_ENGINE_NAMES,
+    average_speedup,
+    build_layer_kernel,
+    figure13_experiment,
+    headline_speedups,
+    normalized_runtimes,
+    resolve_engine,
+    simulate_layer,
+)
+from repro.core.engine import get_engine
+from repro.errors import ConfigurationError
+from repro.types import SparsityPattern
+from repro.workloads.layers import get_layer
+
+
+class TestResolveEngine:
+    def test_plain_name(self):
+        assert resolve_engine("VEGETA-S-2-2").name == "VEGETA-S-2-2"
+
+    def test_of_suffix(self):
+        engine = resolve_engine("VEGETA-S-16-2+OF")
+        assert engine.output_forwarding and engine.name == "VEGETA-S-16-2+OF"
+
+    def test_stc_like(self):
+        engine = resolve_engine("STC-like")
+        assert engine.sparse and not engine.supports_rowwise
+
+    def test_all_figure13_names_resolve(self):
+        for name in FIGURE13_ENGINE_NAMES:
+            assert resolve_engine(name) is not None
+
+
+class TestBuildLayerKernel:
+    def test_dense_engine_runs_dense_kernel_for_sparse_weights(self):
+        layer = get_layer("BERT-L2")
+        program = build_layer_kernel(
+            layer, SparsityPattern.SPARSE_1_4, get_engine("VEGETA-D-1-2"), max_output_tiles=1
+        )
+        assert program.pattern is SparsityPattern.DENSE_4_4
+
+    def test_sparse_engine_runs_spmm_kernel(self):
+        layer = get_layer("BERT-L2")
+        program = build_layer_kernel(
+            layer, SparsityPattern.SPARSE_1_4, get_engine("VEGETA-S-16-2"), max_output_tiles=1
+        )
+        assert program.pattern is SparsityPattern.SPARSE_1_4
+
+    def test_stc_like_runs_1_4_as_2_4(self):
+        layer = get_layer("BERT-L2")
+        program = build_layer_kernel(
+            layer, SparsityPattern.SPARSE_1_4, resolve_engine("STC-like"), max_output_tiles=1
+        )
+        assert program.pattern is SparsityPattern.SPARSE_2_4
+
+
+class TestSimulateLayer:
+    def test_scaled_cycles_exceed_simulated(self):
+        layer = get_layer("GPT-L1")
+        runtime = simulate_layer(
+            layer, SparsityPattern.DENSE_4_4, get_engine("VEGETA-D-1-2"), max_output_tiles=2
+        )
+        assert runtime.core_cycles_scaled > runtime.result.core_cycles
+        assert 0 < runtime.simulated_fraction < 1
+        assert runtime.runtime_seconds > 0
+
+    def test_sparse_weights_speed_up_sparse_engine_but_not_dense(self):
+        layer = get_layer("BERT-L3")
+        dense_engine = get_engine("VEGETA-D-1-2")
+        sparse_engine = get_engine("VEGETA-S-16-2")
+        dense_on_dense = simulate_layer(layer, SparsityPattern.DENSE_4_4, dense_engine, max_output_tiles=2)
+        dense_on_sparse_weights = simulate_layer(layer, SparsityPattern.SPARSE_1_4, dense_engine, max_output_tiles=2)
+        sparse_on_sparse_weights = simulate_layer(layer, SparsityPattern.SPARSE_1_4, sparse_engine, max_output_tiles=2)
+        # A dense engine cannot exploit the zeros at all.
+        assert dense_on_sparse_weights.core_cycles_scaled == pytest.approx(
+            dense_on_dense.core_cycles_scaled, rel=0.01
+        )
+        assert sparse_on_sparse_weights.core_cycles_scaled < 0.5 * dense_on_sparse_weights.core_cycles_scaled
+
+
+class TestFigure13Experiment:
+    def test_small_sweep_structure(self):
+        results = figure13_experiment(
+            layers=[get_layer("GPT-L1")],
+            engine_names=("VEGETA-D-1-2", "VEGETA-S-16-2+OF"),
+            patterns=(SparsityPattern.DENSE_4_4, SparsityPattern.SPARSE_2_4),
+            max_output_tiles=1,
+        )
+        assert len(results) == 4
+        normalized = normalized_runtimes(results)
+        assert max(normalized.values()) == pytest.approx(1.0)
+        assert all(0 < value <= 1.0 for value in normalized.values())
+
+    def test_normalise_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalized_runtimes([])
+
+    def test_average_speedup_requires_overlap(self):
+        results = figure13_experiment(
+            layers=[get_layer("GPT-L1")],
+            engine_names=("VEGETA-D-1-2",),
+            patterns=(SparsityPattern.DENSE_4_4,),
+            max_output_tiles=1,
+        )
+        with pytest.raises(ConfigurationError):
+            average_speedup(
+                results,
+                baseline_engine="VEGETA-D-1-2",
+                target_engine="VEGETA-S-16-2",
+                pattern=SparsityPattern.DENSE_4_4,
+            )
+
+
+class TestHeadlineSpeedups:
+    def test_headline_shape(self):
+        # Paper: 1.09x / 2.20x / 3.74x for 4:4 / 2:4 / 1:4.  We check the
+        # qualitative shape on a single layer: ~parity for dense, roughly 2x
+        # for 2:4, roughly 4x for 1:4, strictly increasing with sparsity.
+        speedups = headline_speedups(layers=[get_layer("BERT-L2")], max_output_tiles=4)
+        assert speedups["4:4"] == pytest.approx(1.09, abs=0.25)
+        assert speedups["2:4"] == pytest.approx(2.20, rel=0.35)
+        assert speedups["1:4"] == pytest.approx(3.74, rel=0.35)
+        assert speedups["4:4"] < speedups["2:4"] < speedups["1:4"]

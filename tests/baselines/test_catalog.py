@@ -1,0 +1,64 @@
+"""Tests for the prior-work baselines and Table I."""
+
+import pytest
+
+from repro.baselines.catalog import (
+    TABLE_I,
+    best_vegeta_engine,
+    prior_work_engine,
+    sota_dense_engine,
+    table1,
+)
+from repro.errors import ConfigurationError
+from repro.types import SparsityGranularity
+
+
+class TestTableI:
+    def test_four_rows_in_paper_order(self):
+        rows = table1()
+        assert [row.name for row in rows] == ["NVIDIA STC", "STA", "S2TA", "VEGETA"]
+
+    def test_only_vegeta_supports_row_wise(self):
+        for row in table1():
+            expected = row.name == "VEGETA"
+            assert row.supports(SparsityGranularity.ROW_WISE) == expected
+
+    def test_stc_is_network_wise_only(self):
+        stc = TABLE_I["NVIDIA STC"]
+        assert stc.supports(SparsityGranularity.NETWORK_WISE)
+        assert not stc.supports(SparsityGranularity.LAYER_WISE)
+
+    def test_s2ta_supports_tile_wise(self):
+        assert TABLE_I["S2TA"].supports(SparsityGranularity.TILE_WISE)
+
+    def test_support_is_monotonically_increasing_down_the_table(self):
+        rows = table1()
+        for earlier, later in zip(rows, rows[1:]):
+            assert earlier.supported <= later.supported
+
+
+class TestPriorWorkEngines:
+    def test_rasa_sm_maps_to_d_1_1(self):
+        assert prior_work_engine("RASA-SM").name == "VEGETA-D-1-1"
+
+    def test_rasa_dm_maps_to_d_1_2(self):
+        assert prior_work_engine("RASA-DM").name == "VEGETA-D-1-2"
+
+    def test_tmul_maps_to_d_16_1(self):
+        assert prior_work_engine("TMUL").name == "VEGETA-D-16-1"
+
+    def test_stc_is_sparse_but_2_4_only(self):
+        engine = prior_work_engine("STC")
+        assert engine.sparse and not engine.supports_rowwise
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            prior_work_engine("TPU")
+
+    def test_sota_dense_is_rasa_dm(self):
+        assert sota_dense_engine().name == "VEGETA-D-1-2"
+
+    def test_best_vegeta_engine_has_forwarding_by_default(self):
+        engine = best_vegeta_engine()
+        assert engine.output_forwarding and engine.alpha == 16
+        assert not best_vegeta_engine(output_forwarding=False).output_forwarding

@@ -1,0 +1,10 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for test data."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,145 @@
+"""Tests for the Table III engine design points."""
+
+import pytest
+
+from repro.core.engine import (
+    ALL_NM_PATTERNS,
+    EngineConfig,
+    catalog,
+    get_engine,
+    stc_like_engine,
+)
+from repro.errors import ConfigurationError
+from repro.types import SparsityPattern
+
+#: Expected (Nrows, Ncols, MACs/PE, inputs/PE, drain latency) from Table III.
+TABLE_III = {
+    "VEGETA-D-1-1": (32, 16, 1, 1, 16),
+    "VEGETA-D-1-2": (16, 16, 2, 2, 16),
+    "VEGETA-D-16-1": (32, 1, 16, 1, 1),
+    "VEGETA-S-1-2": (16, 16, 2, 8, 16),
+    "VEGETA-S-2-2": (16, 8, 4, 8, 8),
+    "VEGETA-S-4-2": (16, 4, 8, 8, 4),
+    "VEGETA-S-8-2": (16, 2, 16, 8, 2),
+    "VEGETA-S-16-2": (16, 1, 32, 8, 2),
+}
+
+
+class TestTableIII:
+    @pytest.mark.parametrize("name,expected", sorted(TABLE_III.items()))
+    def test_structural_parameters(self, name, expected):
+        engine = get_engine(name)
+        nrows, ncols, macs_per_pe, inputs_per_pe, drain = expected
+        assert engine.nrows == nrows
+        assert engine.ncols == ncols
+        assert engine.macs_per_pe == macs_per_pe
+        assert engine.inputs_per_pe == inputs_per_pe
+        assert engine.drain_latency == drain
+
+    def test_catalog_has_eight_designs(self):
+        assert len(catalog()) == 8
+
+    def test_all_designs_have_512_macs(self):
+        for engine in catalog().values():
+            assert engine.nrows * engine.ncols * engine.macs_per_pe == 512
+
+    def test_issue_interval_follows_longest_stage(self):
+        # beta=2 designs have balanced 16-cycle stages; beta=1 designs are
+        # limited by their 32-cycle weight-load stage (the RASA-SM stage
+        # mismatch the paper calls out).
+        for engine in catalog().values():
+            expected = 16 if engine.beta == 2 else 32
+            assert engine.issue_interval == expected
+
+    def test_sparse_engines_support_all_patterns(self):
+        for engine in catalog().values():
+            if engine.sparse:
+                assert engine.supported_patterns == ALL_NM_PATTERNS
+                assert engine.supports_rowwise
+            else:
+                assert engine.supported_patterns == frozenset({SparsityPattern.DENSE_4_4})
+                assert not engine.supports_rowwise
+
+
+class TestLatencies:
+    def test_instruction_latency_components(self):
+        engine = get_engine("VEGETA-S-16-2")
+        assert engine.weight_load_latency == 16
+        assert engine.feed_first_latency == 16
+        assert engine.feed_second_latency == 15
+        assert engine.reduction_latency == 1
+        assert engine.instruction_latency == 16 + 16 + 15 + 2 + 1
+
+    def test_narrower_arrays_have_shorter_latency(self):
+        assert (
+            get_engine("VEGETA-S-16-2").instruction_latency
+            < get_engine("VEGETA-D-1-2").instruction_latency
+        )
+
+    def test_output_ready_latency(self):
+        engine = get_engine("VEGETA-S-16-2")
+        assert engine.output_ready_latency == 2 * 16 + 1
+
+
+class TestCapabilities:
+    def test_dense_engine_executes_everything_as_dense(self):
+        engine = get_engine("VEGETA-D-1-2")
+        assert engine.executable_pattern(SparsityPattern.SPARSE_1_4) is SparsityPattern.DENSE_4_4
+        assert engine.executable_pattern(SparsityPattern.SPARSE_2_4) is SparsityPattern.DENSE_4_4
+
+    def test_stc_like_runs_1_4_as_2_4(self):
+        engine = stc_like_engine()
+        assert engine.executable_pattern(SparsityPattern.SPARSE_1_4) is SparsityPattern.SPARSE_2_4
+        assert engine.executable_pattern(SparsityPattern.SPARSE_2_4) is SparsityPattern.SPARSE_2_4
+        assert not engine.supports_rowwise
+
+    def test_full_sparse_engine_runs_patterns_natively(self):
+        engine = get_engine("VEGETA-S-2-2")
+        for pattern in (SparsityPattern.SPARSE_1_4, SparsityPattern.SPARSE_2_4):
+            assert engine.executable_pattern(pattern) is pattern
+
+    def test_rowwise_pattern_not_accepted_by_executable_pattern(self):
+        with pytest.raises(ConfigurationError):
+            get_engine("VEGETA-S-2-2").executable_pattern(SparsityPattern.ROW_WISE)
+
+
+class TestOutputForwarding:
+    def test_with_output_forwarding_renames(self):
+        engine = get_engine("VEGETA-S-16-2").with_output_forwarding()
+        assert engine.output_forwarding
+        assert engine.name.endswith("+OF")
+
+    def test_with_output_forwarding_preserves_structure(self):
+        base = get_engine("VEGETA-S-4-2")
+        forwarded = base.with_output_forwarding()
+        assert forwarded.nrows == base.nrows and forwarded.ncols == base.ncols
+
+
+class TestValidation:
+    def test_unknown_engine(self):
+        with pytest.raises(ConfigurationError):
+            get_engine("VEGETA-X-1-1")
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_engine("vegeta-s-2-2").name == "VEGETA-S-2-2"
+
+    def test_invalid_beta(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(name="bad", sparse=False, alpha=1, beta=3)
+
+    def test_dense_engine_cannot_claim_sparse_support(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(
+                name="bad",
+                sparse=False,
+                alpha=1,
+                beta=1,
+                supported_patterns=frozenset(
+                    {SparsityPattern.DENSE_4_4, SparsityPattern.SPARSE_2_4}
+                ),
+            )
+
+    def test_describe_contains_table_columns(self):
+        row = get_engine("VEGETA-S-2-2").describe()
+        assert row["nrows"] == 16 and row["ncols"] == 8
+        assert "drain_latency" in row and "supported_sparsity" in row

@@ -1,0 +1,157 @@
+"""Tests for the VEGETA instruction set definitions."""
+
+import pytest
+
+from repro.core import isa
+from repro.core.isa import Instruction, MemoryOperand, Opcode
+from repro.core.registers import mreg, treg, ureg, vreg
+from repro.errors import IsaError
+
+
+class TestOpcode:
+    def test_classification(self):
+        assert Opcode.TILE_LOAD_T.is_load
+        assert Opcode.TILE_STORE_T.is_store
+        assert Opcode.TILE_GEMM.is_compute
+        assert not Opcode.TILE_GEMM.is_sparse_compute
+        assert Opcode.TILE_SPMM_U.is_sparse_compute
+        assert Opcode.TILE_SPMM_R.is_sparse_compute
+
+    def test_memory_bytes(self):
+        assert Opcode.TILE_LOAD_T.memory_bytes == 1024
+        assert Opcode.TILE_LOAD_U.memory_bytes == 2048
+        assert Opcode.TILE_LOAD_V.memory_bytes == 4096
+        assert Opcode.TILE_LOAD_M.memory_bytes == 128
+        assert Opcode.TILE_STORE_T.memory_bytes == 1024
+        assert Opcode.TILE_GEMM.memory_bytes == 0
+
+
+class TestMemoryOperand:
+    def test_end(self):
+        assert MemoryOperand(0x1000, 1024).end == 0x1400
+
+    def test_cache_lines(self):
+        lines = MemoryOperand(0x1000, 128).cache_lines()
+        assert lines == (0x1000, 0x1040)
+
+    def test_unaligned_cache_lines(self):
+        lines = MemoryOperand(0x1030, 64).cache_lines()
+        assert lines == (0x1000, 0x1040)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(IsaError):
+            MemoryOperand(-1, 64)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(IsaError):
+            MemoryOperand(0, 0)
+
+
+class TestConstructors:
+    def test_tile_load_t(self):
+        inst = isa.tile_load_t(treg(1), 0x1000)
+        assert inst.opcode is Opcode.TILE_LOAD_T
+        assert inst.dst == treg(1)
+        assert inst.memory.nbytes == 1024
+
+    def test_tile_load_v_needs_vreg(self):
+        with pytest.raises(IsaError):
+            isa.tile_load_v(treg(0), 0x1000)
+
+    def test_tile_load_m(self):
+        inst = isa.tile_load_m(mreg(2), 0x2000)
+        assert inst.memory.nbytes == 128
+
+    def test_tile_store(self):
+        inst = isa.tile_store_t(0x3000, treg(4))
+        assert inst.opcode.is_store
+        assert inst.reads() == (treg(4),)
+        assert inst.writes() == ()
+
+    def test_tile_gemm_operand_kinds(self):
+        inst = isa.tile_gemm(treg(0), treg(1), treg(2))
+        assert inst.dst == treg(0)
+        with pytest.raises(IsaError):
+            isa.tile_gemm(treg(0), treg(1), ureg(0))
+
+    def test_tile_spmm_u_signature(self):
+        inst = isa.tile_spmm_u(treg(0), treg(3), ureg(2))
+        assert inst.src_b == ureg(2)
+        with pytest.raises(IsaError):
+            isa.tile_spmm_u(treg(0), treg(3), treg(2))
+
+    def test_tile_spmm_v_signature(self):
+        inst = isa.tile_spmm_v(treg(0), treg(2), vreg(1))
+        assert inst.src_b == vreg(1)
+
+    def test_tile_spmm_r_signature(self):
+        inst = isa.tile_spmm_r(ureg(0), treg(2), ureg(2))
+        assert inst.dst == ureg(0)
+        with pytest.raises(IsaError):
+            isa.tile_spmm_r(treg(0), treg(2), ureg(2))
+
+
+class TestDependenceInfo:
+    def test_implicit_metadata_pairs_with_a_register(self):
+        inst = isa.tile_spmm_u(treg(0), treg(3), ureg(2))
+        assert inst.implicit_metadata == mreg(3)
+
+    def test_dense_gemm_has_no_metadata(self):
+        assert isa.tile_gemm(treg(0), treg(1), treg(2)).implicit_metadata is None
+
+    def test_compute_reads_accumulator(self):
+        inst = isa.tile_gemm(treg(0), treg(1), treg(2))
+        assert treg(0) in inst.reads()
+        assert inst.writes() == (treg(0),)
+
+    def test_backing_treg_sets(self):
+        inst = isa.tile_spmm_v(treg(0), treg(2), vreg(1))
+        assert inst.reads_tregs() == (0, 2, 4, 5, 6, 7)
+        assert inst.writes_tregs() == (0,)
+
+    def test_load_writes_no_reads(self):
+        inst = isa.tile_load_u(ureg(1), 0x8000)
+        assert inst.reads() == ()
+        assert inst.writes_tregs() == (2, 3)
+
+
+class TestValidation:
+    def test_load_size_must_match(self):
+        with pytest.raises(IsaError):
+            Instruction(
+                Opcode.TILE_LOAD_T, dst=treg(0), memory=MemoryOperand(0, 512)
+            )
+
+    def test_compute_rejects_memory_operand(self):
+        with pytest.raises(IsaError):
+            Instruction(
+                Opcode.TILE_GEMM,
+                dst=treg(0),
+                src_a=treg(1),
+                src_b=treg(2),
+                memory=MemoryOperand(0, 64),
+            )
+
+    def test_missing_operand(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.TILE_GEMM, dst=treg(0), src_a=treg(1))
+
+    def test_store_source_must_be_treg(self):
+        with pytest.raises(IsaError):
+            Instruction(
+                Opcode.TILE_STORE_T, src_a=ureg(0), memory=MemoryOperand(0, 1024)
+            )
+
+
+class TestAssembly:
+    def test_load_rendering(self):
+        text = isa.tile_load_t(treg(1), 0x1000).to_assembly()
+        assert "TILE_LOAD_T" in text and "treg1" in text and "0x1000" in text
+
+    def test_compute_rendering(self):
+        text = isa.tile_spmm_u(treg(0), treg(3), ureg(2)).to_assembly()
+        assert text == "TILE_SPMM_U treg0, treg3, ureg2"
+
+    def test_store_rendering(self):
+        text = isa.tile_store_t(0x2000, treg(5)).to_assembly()
+        assert text.startswith("TILE_STORE_T [0x2000]")

@@ -1,0 +1,78 @@
+"""Property-based tests for engine pipeline scheduling invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.engine import catalog, get_engine
+from repro.core.pipeline import MatrixEnginePipeline, TileComputeRequest
+
+ENGINE_NAMES = sorted(catalog().keys())
+
+
+@st.composite
+def request_streams(draw, max_length=20):
+    """Random in-order request streams with optional accumulator chains."""
+    length = draw(st.integers(min_value=1, max_value=max_length))
+    requests = []
+    ready = 0
+    for op_id in range(length):
+        ready += draw(st.integers(min_value=0, max_value=40))
+        chain = draw(st.booleans()) and op_id > 0
+        requests.append(
+            TileComputeRequest(
+                op_id=op_id,
+                operands_ready=ready,
+                accumulator_dep=draw(st.integers(min_value=0, max_value=op_id - 1))
+                if chain
+                else None,
+            )
+        )
+    return requests
+
+
+@settings(max_examples=50, deadline=None)
+@given(name=st.sampled_from(ENGINE_NAMES), forwarding=st.booleans(), requests=request_streams())
+def test_stages_never_overlap_and_order_is_preserved(name, forwarding, requests):
+    engine = get_engine(name)
+    if forwarding:
+        engine = engine.with_output_forwarding()
+    pipeline = MatrixEnginePipeline(engine)
+    timings = pipeline.schedule_all(requests)
+    for earlier, later in zip(timings, timings[1:]):
+        # In-order issue: stage windows never overlap between instructions.
+        assert later.wl_start >= earlier.wl_end or later.wl_start >= earlier.wl_start
+        assert later.ff_start >= earlier.ff_end
+        assert later.fs_start >= earlier.fs_end
+        assert later.dr_start >= earlier.dr_end
+        assert later.complete >= earlier.complete
+    for request, timing in zip(requests, timings):
+        # The weight load never starts before its operands are ready, and the
+        # stage sequence is well-formed.
+        assert timing.wl_start >= request.operands_ready
+        assert timing.wl_end <= timing.ff_start + engine.feed_first_latency
+        assert timing.ff_end <= timing.fs_start
+        assert timing.fs_end <= timing.dr_start
+        assert timing.complete == timing.dr_end + engine.reduction_latency
+
+
+@settings(max_examples=50, deadline=None)
+@given(name=st.sampled_from(ENGINE_NAMES), requests=request_streams())
+def test_output_forwarding_never_slows_a_stream_down(name, requests):
+    base = get_engine(name)
+    without = MatrixEnginePipeline(base)
+    with_of = MatrixEnginePipeline(base.with_output_forwarding())
+    without.schedule_all(requests)
+    with_of.schedule_all(requests)
+    assert with_of.makespan <= without.makespan
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    name=st.sampled_from(ENGINE_NAMES),
+    count=st.integers(min_value=1, max_value=30),
+)
+def test_independent_stream_bounded_by_issue_interval(name, count):
+    engine = get_engine(name)
+    pipeline = MatrixEnginePipeline(engine)
+    pipeline.schedule_all([TileComputeRequest(op_id=i) for i in range(count)])
+    upper_bound = count * engine.issue_interval + engine.instruction_latency
+    assert pipeline.makespan <= upper_bound

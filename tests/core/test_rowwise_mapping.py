@@ -1,0 +1,77 @@
+"""Tests for the Section V-E row-wise mapping / packing."""
+
+import pytest
+
+from repro.core.engine import get_engine
+from repro.core.rowwise_mapping import (
+    MAX_OUTPUT_ROWS,
+    TREG_STORED_CAPACITY,
+    effective_speedup_vs_dense,
+    pack_rows,
+)
+from repro.errors import ConfigurationError, SparsityError
+from repro.types import SparsityPattern
+
+D44 = SparsityPattern.DENSE_4_4
+S24 = SparsityPattern.SPARSE_2_4
+S14 = SparsityPattern.SPARSE_1_4
+
+
+class TestPackRows:
+    def test_all_dense_rows_pack_eight_per_group(self):
+        plan = pack_rows([D44] * 16)
+        assert plan.instruction_count == 2
+        assert all(group.stored_values <= TREG_STORED_CAPACITY for group in plan.groups)
+
+    def test_all_1_4_rows_pack_thirty_two_per_group(self):
+        plan = pack_rows([S14] * 64)
+        assert plan.instruction_count == 2
+        assert all(group.output_rows <= MAX_OUTPUT_ROWS for group in plan.groups)
+
+    def test_mixed_rows_respect_capacity(self):
+        plan = pack_rows([D44] * 4 + [S24] * 8 + [S14] * 16)
+        for group in plan.groups:
+            assert group.stored_values <= TREG_STORED_CAPACITY
+            assert group.output_rows <= MAX_OUTPUT_ROWS
+        assert sum(group.output_rows for group in plan.groups) == 28
+
+    def test_occupied_columns_formula(self):
+        plan = pack_rows([D44, S24, S24, S14, S14, S14, S14], group_rows_by_pattern=False)
+        group = plan.groups[0]
+        assert group.occupied_columns == pytest.approx(1 + 1 + 1)
+
+    def test_pattern_counts(self):
+        plan = pack_rows([D44, S14, S14], group_rows_by_pattern=False)
+        counts = plan.groups[0].pattern_counts
+        assert counts[D44] == 1 and counts[S14] == 2
+
+    def test_unsupported_pattern_rejected(self):
+        with pytest.raises(SparsityError):
+            pack_rows([SparsityPattern.ROW_WISE])
+
+    def test_average_occupancy_between_zero_and_one(self):
+        plan = pack_rows([S14] * 10)
+        assert 0.0 < plan.average_occupancy <= 1.0
+
+    def test_mac_utilization_uses_engine_columns(self):
+        plan = pack_rows([D44] * 8)
+        engine = get_engine("VEGETA-S-16-2")
+        assert plan.groups[0].mac_utilization(engine) == pytest.approx(0.5)
+
+
+class TestSpeedup:
+    def test_all_1_4_speedup_near_four(self):
+        speedup = effective_speedup_vs_dense([S14] * 128)
+        assert speedup == pytest.approx(4.0, rel=0.1)
+
+    def test_all_dense_speedup_near_one(self):
+        speedup = effective_speedup_vs_dense([D44] * 128)
+        assert speedup == pytest.approx(1.0, rel=0.1)
+
+    def test_mixed_speedup_between_extremes(self):
+        speedup = effective_speedup_vs_dense([S24] * 64 + [S14] * 64)
+        assert 1.0 < speedup < 4.0
+
+    def test_empty_panel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            effective_speedup_vs_dense([])

@@ -1,0 +1,62 @@
+"""Tests for machine parameter validation."""
+
+import pytest
+
+from repro.cpu.params import CacheParams, CoreParams, MachineParams, MemoryParams, default_machine
+from repro.errors import ConfigurationError
+
+
+class TestCoreParams:
+    def test_defaults_match_evaluation_setup(self):
+        core = default_machine().core
+        assert core.frequency_ghz == 2.0
+        assert core.matrix_engine_frequency_ghz == 0.5
+        assert core.issue_width == 4
+        assert core.rob_entries == 97
+        assert core.load_buffer_entries == 96
+        assert core.pipeline_stages == 16
+
+    def test_engine_clock_ratio(self):
+        assert default_machine().core.engine_clock_ratio == 4
+
+    def test_engine_cannot_outpace_core(self):
+        with pytest.raises(ConfigurationError):
+            CoreParams(frequency_ghz=1.0, matrix_engine_frequency_ghz=2.0)
+
+    def test_positive_widths_required(self):
+        with pytest.raises(ConfigurationError):
+            CoreParams(issue_width=0)
+
+    def test_positive_buffers_required(self):
+        with pytest.raises(ConfigurationError):
+            CoreParams(rob_entries=0)
+
+
+class TestCacheParams:
+    def test_num_sets(self):
+        cache = CacheParams(name="L1", capacity_bytes=32 * 1024, associativity=8)
+        assert cache.num_sets == 64
+        assert cache.num_lines == 512
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams(name="bad", capacity_bytes=1000, associativity=3)
+
+    def test_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams(name="bad", capacity_bytes=0)
+
+
+class TestMemoryParams:
+    def test_bandwidth_per_cycle(self):
+        memory = MemoryParams(dram_bandwidth_gbps=94.0, core_frequency_ghz=2.0)
+        assert memory.dram_bytes_per_core_cycle == pytest.approx(47.0)
+
+
+class TestMachineParams:
+    def test_default_machine_prefetches_into_l2(self):
+        assert default_machine().prefetch_into_l2
+
+    def test_l2_larger_than_l1(self):
+        machine = default_machine()
+        assert machine.l2.capacity_bytes > machine.l1.capacity_bytes

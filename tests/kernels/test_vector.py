@@ -1,0 +1,58 @@
+"""Tests for the vector (SIMD) baseline kernel."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.gemm import build_dense_gemm_kernel
+from repro.kernels.vector import (
+    build_vector_gemm_kernel,
+    vector_instruction_estimate,
+)
+from repro.types import GemmShape
+
+
+class TestVectorKernel:
+    def test_fma_count_matches_mac_budget(self):
+        shape = GemmShape(32, 32, 32)
+        program = build_vector_gemm_kernel(shape, mr=4)
+        summary = program.summary()
+        # One 32-wide FMA per (row, k) pair per column block.
+        assert summary.vector_fma == 32 * 32 * (32 // 32)
+
+    def test_estimate_matches_builder(self):
+        for dim in (32, 64, 128):
+            shape = GemmShape(dim, dim, dim)
+            program = build_vector_gemm_kernel(shape)
+            assert program.instruction_count == vector_instruction_estimate(shape)
+
+    def test_many_more_instructions_than_matrix_kernel(self):
+        shape = GemmShape(64, 64, 64)
+        vector = build_vector_gemm_kernel(shape)
+        matrix = build_dense_gemm_kernel(shape)
+        assert vector.instruction_count > 10 * matrix.instruction_count
+
+    def test_ratio_grows_with_gemm_size(self):
+        ratios = []
+        for dim in (32, 64, 128):
+            shape = GemmShape(dim, dim, dim)
+            ratios.append(
+                build_vector_gemm_kernel(shape).instruction_count
+                / build_dense_gemm_kernel(shape).instruction_count
+            )
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_truncation(self):
+        shape = GemmShape(64, 32, 32)
+        truncated = build_vector_gemm_kernel(shape, max_row_blocks=4)
+        assert truncated.simulated_fraction == pytest.approx(4 / 16)
+
+    def test_invalid_blocking(self):
+        with pytest.raises(KernelError):
+            build_vector_gemm_kernel(GemmShape(16, 16, 16), mr=0)
+
+    def test_loop_overhead_toggle(self):
+        shape = GemmShape(32, 32, 32)
+        with_overhead = build_vector_gemm_kernel(shape)
+        without = build_vector_gemm_kernel(shape, include_loop_overhead=False)
+        assert without.summary().scalar == 0
+        assert without.instruction_count < with_overhead.instruction_count

@@ -1,0 +1,85 @@
+"""Property-based tests (hypothesis) for the sparsity substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse.blocks import minimal_row_patterns, satisfies_nm
+from repro.sparse.compress import compress
+from repro.sparse.metadata import pack_indices, unpack_indices
+from repro.sparse.pruning import prune_nm, prune_unstructured
+from repro.sparse.rowwise import transform_unstructured
+from repro.types import SparsityPattern
+
+
+@st.composite
+def small_matrices(draw, max_rows=8, max_blocks=8):
+    rows = draw(st.integers(min_value=1, max_value=max_rows))
+    blocks = draw(st.integers(min_value=1, max_value=max_blocks))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    density = draw(st.floats(min_value=0.0, max_value=1.0))
+    rng = np.random.default_rng(seed)
+    matrix = rng.standard_normal((rows, blocks * 4)).astype(np.float32)
+    mask = rng.random((rows, blocks * 4)) < density
+    return (matrix * mask).astype(np.float32)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=small_matrices(), n=st.sampled_from([1, 2]))
+def test_prune_nm_always_satisfies_pattern(matrix, n):
+    assert satisfies_nm(prune_nm(matrix, n), n)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=small_matrices(), n=st.sampled_from([1, 2]))
+def test_prune_nm_preserves_surviving_values(matrix, n):
+    pruned = prune_nm(matrix, n)
+    mask = pruned != 0
+    assert np.array_equal(pruned[mask], matrix[mask])
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=small_matrices())
+def test_rowwise_transform_is_lossless(matrix):
+    assert np.array_equal(transform_unstructured(matrix).decompress(), matrix)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=small_matrices())
+def test_rowwise_patterns_cover_each_row(matrix):
+    patterns = minimal_row_patterns(matrix)
+    for row, pattern in enumerate(patterns):
+        assert satisfies_nm(matrix[row : row + 1], pattern.n)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=small_matrices(), n=st.sampled_from([1, 2]))
+def test_compression_roundtrip_after_pruning(matrix, n):
+    pattern = SparsityPattern.from_n(n)
+    pruned = prune_nm(matrix, n)
+    tile = compress(pruned, pattern)
+    assert np.array_equal(tile.decompress(), pruned)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    rows=st.integers(min_value=1, max_value=16),
+    cols_times_4=st.integers(min_value=1, max_value=16),
+)
+def test_metadata_pack_unpack_roundtrip(seed, rows, cols_times_4):
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, 4, size=(rows, cols_times_4 * 4))
+    packed = pack_indices(indices)
+    assert np.array_equal(unpack_indices(packed, rows, cols_times_4 * 4), indices)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    matrix=small_matrices(max_rows=12, max_blocks=12),
+    degree=st.floats(min_value=0.0, max_value=0.99),
+)
+def test_unstructured_pruning_never_increases_nnz(matrix, degree):
+    pruned = prune_unstructured(matrix, degree)
+    assert np.count_nonzero(pruned) <= np.count_nonzero(matrix)
+    mask = pruned != 0
+    assert np.array_equal(pruned[mask], matrix[mask])

@@ -1,0 +1,147 @@
+"""Tests for row-wise sparsity and the unstructured -> row-wise transform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparsityError
+from repro.sparse.pruning import prune_unstructured
+from repro.sparse.rowwise import (
+    RowWiseTile,
+    compress_rowwise,
+    effective_macs_skipped,
+    group_rows_for_pseudo,
+    inverse_permutation,
+    spe_column_occupancy,
+    stored_row_count,
+    transform_unstructured,
+)
+from repro.types import SparsityPattern
+
+
+def _unstructured(rng, rows=16, cols=64, degree=0.9):
+    matrix = rng.standard_normal((rows, cols)).astype(np.float32)
+    return prune_unstructured(matrix, degree, rng=rng)
+
+
+class TestTransformUnstructured:
+    def test_lossless(self, rng):
+        matrix = _unstructured(rng)
+        tile = transform_unstructured(matrix)
+        assert np.array_equal(tile.decompress(), matrix)
+
+    def test_lossless_across_degrees(self, rng):
+        for degree in (0.5, 0.7, 0.95):
+            matrix = _unstructured(rng, degree=degree)
+            assert np.array_equal(transform_unstructured(matrix).decompress(), matrix)
+
+    def test_pattern_counts_sum_to_rows(self, rng):
+        tile = transform_unstructured(_unstructured(rng, rows=24))
+        assert sum(tile.pattern_counts.values()) == 24
+
+    def test_high_sparsity_prefers_1_4(self, rng):
+        matrix = _unstructured(rng, rows=64, cols=256, degree=0.97)
+        tile = transform_unstructured(matrix)
+        counts = tile.pattern_counts
+        assert counts[SparsityPattern.SPARSE_1_4] > counts[SparsityPattern.DENSE_4_4]
+
+    def test_dense_matrix_maps_to_4_4(self, rng):
+        matrix = rng.standard_normal((8, 16)).astype(np.float32) + 1.0
+        tile = transform_unstructured(matrix)
+        assert all(p is SparsityPattern.DENSE_4_4 for p in tile.row_patterns)
+
+    def test_rejects_bad_columns(self, rng):
+        with pytest.raises(SparsityError):
+            transform_unstructured(rng.standard_normal((4, 7)))
+
+    def test_stored_elements_smaller_for_sparser(self, rng):
+        sparse = transform_unstructured(_unstructured(rng, degree=0.95))
+        dense = transform_unstructured(_unstructured(rng, degree=0.3))
+        assert sparse.stored_elements < dense.stored_elements
+
+
+class TestCompressRowwise:
+    def test_roundtrip_with_explicit_patterns(self, rng):
+        matrix = np.zeros((2, 8), dtype=np.float32)
+        matrix[0, 0] = 1.0
+        matrix[1] = [1, 2, 3, 4, 5, 6, 7, 8]
+        tile = compress_rowwise(
+            matrix, [SparsityPattern.SPARSE_1_4, SparsityPattern.DENSE_4_4]
+        )
+        assert np.array_equal(tile.decompress(), matrix)
+
+    def test_pattern_count_mismatch(self, rng):
+        with pytest.raises(SparsityError):
+            compress_rowwise(np.zeros((2, 8)), [SparsityPattern.SPARSE_1_4])
+
+
+class TestOccupancy:
+    def test_spe_column_occupancy_formula(self, rng):
+        matrix = np.zeros((4, 16), dtype=np.float32)
+        matrix[0] = 1.0  # 4:4
+        matrix[1, [0, 1]] = 1.0  # 2:4
+        matrix[2, 0] = 1.0  # 1:4
+        matrix[3, 4] = 1.0  # 1:4
+        tile = transform_unstructured(matrix)
+        assert spe_column_occupancy(tile) == pytest.approx(1 + 0.5 + 0.25 + 0.25)
+
+    def test_stored_row_count(self, rng):
+        tile = transform_unstructured(_unstructured(rng, rows=20))
+        assert stored_row_count(tile) == 20
+
+    def test_metadata_bytes(self, rng):
+        tile = transform_unstructured(_unstructured(rng, rows=32))
+        assert tile.row_pattern_metadata_bytes() == 8
+
+
+class TestPseudoGrouping:
+    def test_grouped_input_needs_no_reorder(self):
+        patterns = [SparsityPattern.DENSE_4_4] * 2 + [SparsityPattern.SPARSE_1_4] * 3
+        permutation, grouped = group_rows_for_pseudo(patterns)
+        assert grouped
+        assert sorted(permutation) == list(range(5))
+
+    def test_interleaved_input_needs_reorder(self):
+        patterns = [
+            SparsityPattern.SPARSE_1_4,
+            SparsityPattern.DENSE_4_4,
+            SparsityPattern.SPARSE_1_4,
+        ]
+        permutation, grouped = group_rows_for_pseudo(patterns)
+        assert not grouped
+        # Permuted order groups the two 1:4 rows together.
+        grouped_patterns = [patterns[i] for i in permutation]
+        assert grouped_patterns == sorted(
+            grouped_patterns, key=lambda p: p is SparsityPattern.SPARSE_1_4
+        )
+
+    def test_inverse_permutation(self):
+        permutation = [2, 0, 1]
+        inverse = inverse_permutation(permutation)
+        assert [permutation[i] for i in inverse] == [0, 1, 2]
+
+    def test_rejects_rowwise_pattern(self):
+        with pytest.raises(SparsityError):
+            group_rows_for_pseudo([SparsityPattern.ROW_WISE])
+
+
+class TestSkippedMacs:
+    def test_dense_tile_skips_nothing(self, rng):
+        matrix = rng.standard_normal((4, 16)).astype(np.float32) + 1.0
+        assert effective_macs_skipped(transform_unstructured(matrix)) == 0
+
+    def test_sparse_tile_skips_work(self, rng):
+        matrix = _unstructured(rng, rows=16, cols=64, degree=0.95)
+        tile = transform_unstructured(matrix)
+        assert effective_macs_skipped(tile) > 0
+        assert effective_macs_skipped(tile) < 16 * 64
+
+
+class TestRowWiseTileValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(Exception):
+            RowWiseTile(
+                row_values=(np.zeros(4, dtype=np.float32),),
+                row_indices=(),
+                row_patterns=(SparsityPattern.SPARSE_1_4,),
+                effective_shape=None,
+            )

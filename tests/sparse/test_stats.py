@@ -1,0 +1,73 @@
+"""Tests for sparsity statistics."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.pruning import prune_to_pattern, prune_unstructured
+from repro.sparse.stats import (
+    effectual_mac_fraction,
+    rowwise_storage_bytes,
+    storage_savings,
+    summarize,
+)
+from repro.types import SparsityPattern
+
+
+class TestSummarize:
+    def test_counts(self, rng):
+        matrix = np.zeros((4, 8), dtype=np.float32)
+        matrix[0, 0] = 1.0
+        matrix[1, :2] = 1.0
+        summary = summarize(matrix)
+        assert summary.rows == 4 and summary.cols == 8
+        assert summary.nnz == 3
+        assert summary.total_elements == 32
+        assert summary.density == pytest.approx(3 / 32)
+        assert summary.sparsity_degree == pytest.approx(29 / 32)
+
+    def test_block_histogram_sums_to_block_count(self, rng):
+        matrix = prune_unstructured(rng.standard_normal((16, 64)).astype(np.float32), 0.8, rng=rng)
+        summary = summarize(matrix)
+        assert sum(summary.block_nnz_histogram.values()) == 16 * 16
+
+    def test_row_pattern_histogram_sums_to_rows(self, rng):
+        matrix = prune_unstructured(rng.standard_normal((16, 64)).astype(np.float32), 0.9, rng=rng)
+        summary = summarize(matrix)
+        assert sum(summary.row_pattern_histogram.values()) == 16
+
+
+class TestStorageSavings:
+    def test_2_4_savings(self, rng):
+        matrix = prune_to_pattern(
+            rng.standard_normal((16, 64)).astype(np.float32), SparsityPattern.SPARSE_2_4
+        )
+        savings = storage_savings(matrix, SparsityPattern.SPARSE_2_4)
+        # Half the values plus an eighth byte of metadata per stored bf16.
+        assert savings == pytest.approx(1 - (0.5 + 0.5 * 0.125), abs=0.01)
+
+    def test_1_4_savings_larger_than_2_4(self, rng):
+        matrix = prune_to_pattern(
+            rng.standard_normal((16, 128)).astype(np.float32), SparsityPattern.SPARSE_1_4
+        )
+        assert storage_savings(matrix, SparsityPattern.SPARSE_1_4) > storage_savings(
+            matrix, SparsityPattern.SPARSE_2_4
+        )
+
+
+class TestRowwiseStorage:
+    def test_sparser_matrices_store_fewer_bytes(self, rng):
+        base = rng.standard_normal((32, 128)).astype(np.float32)
+        very_sparse = prune_unstructured(base, 0.95, rng=rng)
+        mildly_sparse = prune_unstructured(base, 0.5, rng=rng)
+        assert rowwise_storage_bytes(very_sparse) < rowwise_storage_bytes(mildly_sparse)
+
+    def test_dense_storage_close_to_dense_bytes(self, rng):
+        matrix = rng.standard_normal((16, 64)).astype(np.float32) + 1.0
+        dense_bytes = 16 * 64 * 2
+        assert rowwise_storage_bytes(matrix) >= dense_bytes
+
+
+class TestEffectualFraction:
+    def test_matches_density(self, rng):
+        matrix = prune_unstructured(rng.standard_normal((16, 64)).astype(np.float32), 0.75, rng=rng)
+        assert effectual_mac_fraction(matrix) == pytest.approx(0.25, abs=0.02)

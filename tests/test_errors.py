@@ -1,0 +1,25 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+            assert issubclass(obj, errors.ReproError)
+
+
+def test_compression_error_is_sparsity_error():
+    assert issubclass(errors.CompressionError, errors.SparsityError)
+
+
+def test_register_error_is_isa_error():
+    assert issubclass(errors.RegisterError, errors.IsaError)
+
+
+def test_errors_can_be_raised_and_caught_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.KernelError("bad tiling")

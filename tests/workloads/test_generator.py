@@ -1,0 +1,71 @@
+"""Tests for synthetic operand generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sparse.blocks import satisfies_nm, sparsity_degree
+from repro.types import GemmShape, SparsityPattern
+from repro.workloads.generator import (
+    generate_dense,
+    generate_structured,
+    generate_unstructured,
+    scaled_problem,
+)
+
+
+class TestGenerateDense:
+    def test_shapes(self):
+        shape = GemmShape(32, 48, 64)
+        data = generate_dense(shape)
+        assert data.a.shape == (32, 64) and data.b.shape == (64, 48)
+        assert data.shape == shape
+
+    def test_deterministic(self):
+        shape = GemmShape(16, 16, 32)
+        assert np.array_equal(generate_dense(shape, seed=5).a, generate_dense(shape, seed=5).a)
+
+    def test_different_seeds_differ(self):
+        shape = GemmShape(16, 16, 32)
+        assert not np.array_equal(generate_dense(shape, seed=1).a, generate_dense(shape, seed=2).a)
+
+
+class TestGenerateStructured:
+    @pytest.mark.parametrize(
+        "pattern", [SparsityPattern.SPARSE_2_4, SparsityPattern.SPARSE_1_4]
+    )
+    def test_a_satisfies_pattern(self, pattern):
+        data = generate_structured(GemmShape(32, 32, 64), pattern, seed=0)
+        assert satisfies_nm(data.a, pattern.n)
+        assert data.sparsity_degree == pytest.approx(1 - pattern.density, abs=0.05)
+
+    def test_rowwise_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_structured(GemmShape(16, 16, 32), SparsityPattern.ROW_WISE)
+
+
+class TestGenerateUnstructured:
+    def test_target_degree_reached(self):
+        data = generate_unstructured(GemmShape(64, 64, 64), 0.9, seed=0)
+        assert sparsity_degree(data.a) == pytest.approx(0.9, abs=0.01)
+        assert data.pattern is SparsityPattern.ROW_WISE
+
+    def test_invalid_degree(self):
+        with pytest.raises(WorkloadError):
+            generate_unstructured(GemmShape(16, 16, 16), 1.5)
+
+
+class TestScaledProblem:
+    def test_small_problem_unchanged(self):
+        shape = GemmShape(64, 64, 128)
+        assert scaled_problem(shape) == shape
+
+    def test_large_problem_shrinks_under_budget(self):
+        shape = GemmShape(4096, 4096, 8192)
+        scaled = scaled_problem(shape, max_elements=1 << 18)
+        assert max(scaled.m * scaled.k, scaled.k * scaled.n) <= (1 << 18) * 1.5
+        assert scaled.m % 16 == 0 and scaled.n % 16 == 0 and scaled.k % 128 == 0
+
+    def test_preserves_tile_divisibility_minimums(self):
+        scaled = scaled_problem(GemmShape(100000, 16, 100000), max_elements=1 << 10)
+        assert scaled.m >= 16 and scaled.k >= 128

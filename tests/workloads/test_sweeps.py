@@ -1,0 +1,45 @@
+"""Tests for the evaluation sweeps."""
+
+from repro.types import SparsityPattern
+from repro.workloads.layers import all_layers, get_layer
+from repro.workloads.sweeps import (
+    FIGURE13_PATTERNS,
+    FIGURE15_SPARSITY_DEGREES,
+    FIGURE4_GEMM_SIZES,
+    figure13_sweep,
+    figure15_sweep,
+    iterate_layer_patterns,
+)
+
+
+class TestSweeps:
+    def test_figure13_sweep_covers_all_combinations(self):
+        points = figure13_sweep()
+        assert len(points) == 12 * 3
+        keys = {point.key for point in points}
+        assert "GPT-L3/1:4" in keys and "ResNet50-L1/4:4" in keys
+
+    def test_figure13_sweep_with_subset(self):
+        points = figure13_sweep(layers=[get_layer("BERT-L1")])
+        assert len(points) == 3
+        assert all(point.layer.name == "BERT-L1" for point in points)
+
+    def test_figure13_patterns(self):
+        assert FIGURE13_PATTERNS == (
+            SparsityPattern.DENSE_4_4,
+            SparsityPattern.SPARSE_2_4,
+            SparsityPattern.SPARSE_1_4,
+        )
+
+    def test_figure15_degrees_span_60_to_95(self):
+        degrees = figure15_sweep()
+        assert degrees[0] == 0.60 and degrees[-1] == 0.95
+        assert degrees == sorted(degrees)
+        assert degrees == list(FIGURE15_SPARSITY_DEGREES)
+
+    def test_figure4_sizes(self):
+        assert FIGURE4_GEMM_SIZES == (32, 64, 128)
+
+    def test_iterate_layer_patterns(self):
+        pairs = list(iterate_layer_patterns())
+        assert len(pairs) == len(all_layers()) * 3
