@@ -1,26 +1,22 @@
 """Shared helpers for the benchmark harness.
 
 Every module in this directory regenerates one table or figure of the paper
-(see DESIGN.md's experiment index).  The helpers here render the reproduced
-rows/series to stdout (run pytest with ``-s`` to see them) so the output can
-be compared side-by-side with the paper, and EXPERIMENTS.md records the
-comparison.
+(see DESIGN.md's experiment index).  Rendering lives in
+:mod:`repro.experiments.results` (run pytest with ``-s`` to see the tables)
+so the output can be compared side-by-side with the paper, and
+EXPERIMENTS.md records the comparison.
+
+The figure sweeps themselves run through :mod:`repro.experiments`: repeated
+benchmark runs are served from the content-addressed result cache
+(``REPRO_CACHE_DIR``, default ``.repro-cache``) and cold runs honour
+``REPRO_JOBS`` for multiprocessing fan-out.  The persistent cache is
+intentional — it is what makes re-running the figure suites near-instant —
+but it means a simulator/analysis change only re-executes once the
+corresponding spec version constant in ``repro/experiments/figures.py`` is
+bumped (or the cache is cleared); the unit-test suite under ``tests/`` runs
+against a per-session cache instead and always exercises the live code.
 """
 
-from typing import Iterable, Sequence
+from repro.experiments.results import print_table  # re-exported for compatibility
 
-
-def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
-    """Print an aligned text table."""
-    rows = [tuple(str(cell) for cell in row) for row in rows]
-    widths = [
-        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
-        for i in range(len(headers))
-    ]
-    line = "  ".join(header.ljust(width) for header, width in zip(headers, widths))
-    print()
-    print(f"== {title} ==")
-    print(line)
-    print("-" * len(line))
-    for row in rows:
-        print("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+__all__ = ["print_table"]

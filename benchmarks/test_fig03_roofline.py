@@ -8,7 +8,7 @@ a convolutional layer with 64 GFLOPS vector / 512 GFLOPS matrix peaks and
 import pytest
 
 from repro.analysis.roofline import FIGURE3_ENGINES, figure3_series
-from .conftest import print_table
+from repro.experiments.results import print_table
 
 DENSITIES = [d / 100 for d in range(5, 101, 5)]
 

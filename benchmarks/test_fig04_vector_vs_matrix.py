@@ -19,7 +19,7 @@ from repro.core.engine import get_engine
 from repro.kernels.gemm import build_dense_gemm_kernel
 from repro.kernels.vector import build_vector_gemm_kernel
 from repro.types import GemmShape
-from .conftest import print_table
+from repro.experiments.results import print_table
 
 DIMENSIONS = (32, 64, 128)
 

@@ -10,7 +10,7 @@ import pytest
 
 from repro.core.engine import get_engine
 from repro.core.pipeline import dependent_chain_interval, steady_state_issue_interval
-from .conftest import print_table
+from repro.experiments.results import print_table
 
 
 def _measure():

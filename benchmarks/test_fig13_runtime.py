@@ -19,7 +19,7 @@ import pytest
 from repro.analysis.runtime import FIGURE13_ENGINE_NAMES, figure13_experiment, normalized_runtimes
 from repro.types import SparsityPattern
 from repro.workloads.layers import all_layers, get_layer
-from .conftest import print_table
+from repro.experiments.results import print_table
 
 MAX_OUTPUT_TILES = 2
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.area_power import figure14_table, sparse_power_overheads
-from .conftest import print_table
+from repro.experiments.results import print_table
 
 
 @pytest.mark.benchmark(group="figure14")

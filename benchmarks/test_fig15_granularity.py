@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis.granularity import GRANULARITY_LABELS, figure15_series
 from repro.workloads.sweeps import FIGURE15_SPARSITY_DEGREES
-from .conftest import print_table
+from repro.experiments.results import print_table
 
 SERIES_ORDER = ("dense", "layer_wise", "tile_wise", "pseudo_row_wise", "row_wise", "unstructured")
 

@@ -13,7 +13,7 @@ import pytest
 from repro.analysis.granularity import headline_unstructured_speedup
 from repro.analysis.runtime import headline_speedups
 from repro.workloads.layers import all_layers
-from .conftest import print_table
+from repro.experiments.results import print_table
 
 PAPER_VALUES = {"4:4": 1.09, "2:4": 2.20, "1:4": 3.74, "unstructured-95%": 3.28}
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines.catalog import table1
 from repro.types import SparsityGranularity
-from .conftest import print_table
+from repro.experiments.results import print_table
 
 COLUMNS = (
     SparsityGranularity.NETWORK_WISE,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.engine import catalog
-from .conftest import print_table
+from repro.experiments.results import print_table
 
 EXPECTED = {
     "VEGETA-D-1-1": (32, 16, 1, 1, 1, 16),

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.workloads.layers import TABLE_IV_MACS, all_layers
-from .conftest import print_table
+from repro.experiments.results import print_table
 
 
 @pytest.mark.benchmark(group="table4")

@@ -7,39 +7,59 @@ and output forwarding), simulates the layer, and prints runtime together with
 the analytical area / power / frequency estimates — the performance-area
 trade-off the paper's Section VI-C/VI-D discusses.
 
+Both sweeps run through the :mod:`repro.experiments` subsystem: the runtime
+points and cost estimates are served from the content-addressed result cache
+on repeated runs (delete ``.repro-cache`` or set ``REPRO_CACHE_DIR`` to move
+it), and a cold run can be fanned out with ``REPRO_JOBS=4``.
+
 Run with:  python examples/design_space_exploration.py
 """
 
-from repro import CycleApproximateSimulator, SparsityPattern
-from repro.analysis.area_power import estimate
-from repro.analysis.runtime import FIGURE13_ENGINE_NAMES, resolve_engine
-from repro.kernels import build_dense_gemm_kernel, build_spmm_kernel
-from repro.workloads import get_layer
+from repro import SparsityPattern
+from repro.analysis.runtime import FIGURE13_ENGINE_NAMES
+from repro.experiments import print_table, run_experiment
+from repro.experiments.figures import figure13_spec, figure14_spec
 
 
 def main() -> None:
-    layer = get_layer("BERT-L2")
+    layer_name = "BERT-L2"
     pattern = SparsityPattern.SPARSE_2_4
-    print(f"{layer.name}: GEMM {layer.gemm.m}x{layer.gemm.n}x{layer.gemm.k}, weights {pattern.value} sparse\n")
-    print(f"{'engine':<18}{'cycles':>14}{'speed-up':>10}{'norm.area':>11}{'norm.power':>12}{'fmax(GHz)':>11}")
 
-    baseline_cycles = None
-    for name in FIGURE13_ENGINE_NAMES:
-        engine = resolve_engine(name)
-        executed = engine.executable_pattern(pattern)
-        if executed is SparsityPattern.DENSE_4_4:
-            program = build_dense_gemm_kernel(layer.gemm, max_output_tiles=4)
-        else:
-            program = build_spmm_kernel(layer.gemm, executed, max_output_tiles=4)
-        result = CycleApproximateSimulator(engine=engine).run(program.trace)
-        cycles = result.core_cycles / program.simulated_fraction
-        if baseline_cycles is None:
-            baseline_cycles = cycles
-        cost = estimate(engine.with_output_forwarding(False)) if engine.output_forwarding else estimate(engine)
-        print(
-            f"{name:<18}{cycles:>14,.0f}{baseline_cycles / cycles:>9.2f}x"
-            f"{cost.area_normalized:>11.3f}{cost.power_normalized:>12.3f}{cost.frequency_ghz:>11.2f}"
+    runtime_spec = figure13_spec(
+        layers=[layer_name],
+        engine_names=FIGURE13_ENGINE_NAMES,
+        patterns=[pattern],
+        max_output_tiles=4,
+    )
+    runtimes = run_experiment(runtime_spec)
+    # Cost estimates for every named design point; the +OF variant shares the
+    # silicon of its base engine, so look its costs up under the base name.
+    cost_names = [name.replace("+OF", "") for name in FIGURE13_ENGINE_NAMES]
+    costs = run_experiment(figure14_spec(sorted(set(cost_names))))
+    cost_by_name = {row["engine"]: row for row in costs.rows}
+
+    print(f"{layer_name}: 2:4 sparse weights, {len(runtimes)} design points "
+          f"({runtimes.meta['cached']} cached, {runtimes.meta['executed']} simulated)\n")
+
+    baseline_cycles = runtimes.rows[0]["core_cycles_scaled"]
+    rows = []
+    for point in runtimes:
+        cost = cost_by_name[point["engine"].replace("+OF", "")]
+        rows.append(
+            [
+                point["engine"],
+                f"{point['core_cycles_scaled']:,.0f}",
+                f"{baseline_cycles / point['core_cycles_scaled']:.2f}x",
+                f"{cost['area_normalized']:.3f}",
+                f"{cost['power_normalized']:.3f}",
+                f"{cost['frequency_ghz']:.2f}",
+            ]
         )
+    print_table(
+        "Design-space exploration (BERT-L2, 2:4 weights)",
+        ["engine", "cycles", "speed-up", "norm.area", "norm.power", "fmax(GHz)"],
+        rows,
+    )
 
     print("\n(cycles are steady-state samples scaled to the full layer; area/power are")
     print(" normalised to RASA-SM; every design meets the 0.5 GHz evaluation clock)")

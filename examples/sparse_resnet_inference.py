@@ -12,10 +12,11 @@ Run with:  python examples/sparse_resnet_inference.py
 
 import numpy as np
 
-from repro import CycleApproximateSimulator, SparsityPattern, get_engine
+from repro import SparsityPattern
+from repro.experiments import run_experiment
+from repro.experiments.figures import figure13_spec
 from repro.kernels import (
     ConvShape,
-    build_dense_gemm_kernel,
     build_spmm_kernel,
     im2col,
     run_functional,
@@ -47,24 +48,27 @@ def main() -> None:
     expected = (weight_matrix @ columns).reshape(output.shape)
     print(f"sparse convolution matches reference: {np.allclose(output, expected, rtol=1e-2, atol=0.2)}")
 
-    # Timing sweep on the real ResNet50-L2 dimensions from Table IV.
+    # Timing sweep on the real ResNet50-L2 dimensions from Table IV, run
+    # through the repro.experiments subsystem: the three points are cached on
+    # disk, so re-running this script skips the simulations entirely.
     layer = get_layer("ResNet50-L2")
-    engine = get_engine("VEGETA-S-16-2").with_output_forwarding()
-    simulator = CycleApproximateSimulator(engine=engine)
+    engine_name = "VEGETA-S-16-2+OF"
+    table = run_experiment(
+        figure13_spec(
+            layers=[layer.name],
+            engine_names=[engine_name],
+            patterns=(SparsityPattern.DENSE_4_4, SparsityPattern.SPARSE_2_4,
+                      SparsityPattern.SPARSE_1_4),
+            max_output_tiles=4,
+        )
+    )
     print(f"\n{layer.name}: GEMM {layer.gemm.m}x{layer.gemm.n}x{layer.gemm.k} "
-          f"({layer.macs:,} MACs), engine {engine.name}")
-    baseline_cycles = None
-    for pattern in (SparsityPattern.DENSE_4_4, SparsityPattern.SPARSE_2_4, SparsityPattern.SPARSE_1_4):
-        if pattern is SparsityPattern.DENSE_4_4:
-            program = build_dense_gemm_kernel(layer.gemm, max_output_tiles=4)
-        else:
-            program = build_spmm_kernel(layer.gemm, pattern, max_output_tiles=4)
-        result = simulator.run(program.trace)
-        scaled = result.core_cycles / program.simulated_fraction
-        if baseline_cycles is None:
-            baseline_cycles = scaled
-        print(f"  weights {pattern.value:>3}: {scaled:>12,.0f} core cycles "
-              f"({baseline_cycles / scaled:.2f}x vs dense)")
+          f"({layer.macs:,} MACs), engine {engine_name} "
+          f"({table.meta['cached']} cached, {table.meta['executed']} simulated)")
+    baseline_cycles = table.rows[0]["core_cycles_scaled"]
+    for point in table:
+        print(f"  weights {point['pattern']:>3}: {point['core_cycles_scaled']:>12,.0f} core cycles "
+              f"({baseline_cycles / point['core_cycles_scaled']:.2f}x vs dense)")
 
 
 if __name__ == "__main__":

@@ -80,6 +80,13 @@ from .analysis import (
     figure4_instruction_counts,
     headline_speedups,
 )
+from .experiments import (
+    ExperimentSpec,
+    ResultCache,
+    ResultTable,
+    run_experiment,
+    run_named,
+)
 
 __version__ = "1.0.0"
 
@@ -92,6 +99,7 @@ __all__ = [
     "DType",
     "EngineConfig",
     "ExecutionError",
+    "ExperimentSpec",
     "FunctionalMachine",
     "GemmShape",
     "Instruction",
@@ -103,6 +111,8 @@ __all__ = [
     "Opcode",
     "RegisterError",
     "ReproError",
+    "ResultCache",
+    "ResultTable",
     "RowWiseTile",
     "SimulationError",
     "SimulationResult",
@@ -131,7 +141,9 @@ __all__ = [
     "headline_speedups",
     "prune_to_pattern",
     "prune_unstructured",
+    "run_experiment",
     "run_functional",
+    "run_named",
     "stc_like_engine",
     "transform_unstructured",
     "validate_kernel",

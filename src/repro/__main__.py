@@ -1,0 +1,185 @@
+"""``python -m repro`` — run the paper's experiments from the command line.
+
+Subcommands::
+
+    python -m repro list                       # registered experiments
+    python -m repro run fig13 --jobs 4         # run a sweep (cached)
+    python -m repro dump fig13 --format csv    # run + emit machine-readable
+    python -m repro cache info                 # cache statistics
+    python -m repro cache clear                # drop every cached result
+
+``run``/``dump`` accept ``--jobs`` (or the ``REPRO_JOBS`` environment
+variable) for the multiprocessing backend, ``--no-cache`` /
+``--cache-dir`` (or ``REPRO_CACHE_DIR``) for the result cache, and
+``--max-layers`` / ``--max-output-tiles`` / ``--seed`` to scale the sweep
+down.  See EXPERIMENTS.md for the full tour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+from .errors import ReproError
+from .experiments.cache import ResultCache
+from .experiments.registry import list_experiments
+from .experiments.results import ResultTable, format_table
+from .experiments.runner import run_named
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the VEGETA (HPCA 2023) evaluation experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    for command, help_text, default_format in (
+        ("run", "run an experiment and print its result table", "table"),
+        ("dump", "run an experiment and emit a machine-readable table", "json"),
+    ):
+        sub = subparsers.add_parser(command, help=help_text)
+        sub.add_argument("experiment", help="experiment name (see 'list')")
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes (<=0 = all cores; default: $REPRO_JOBS or 1)",
+        )
+        sub.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="bypass the on-disk result cache entirely",
+        )
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+        )
+        sub.add_argument(
+            "--max-layers",
+            type=int,
+            default=None,
+            help="restrict the sweep to the first N Table IV layers",
+        )
+        sub.add_argument(
+            "--max-output-tiles",
+            type=int,
+            default=None,
+            help="output tiles traced per simulation before scaling",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=None, help="generator seed for sampled sweeps"
+        )
+        sub.add_argument(
+            "--format",
+            choices=("table", "json", "csv"),
+            default=default_format,
+            help=f"output format (default: {default_format})",
+        )
+        sub.add_argument(
+            "--out", default=None, help="write the table to a file instead of stdout"
+        )
+
+    cache = subparsers.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("info", "clear"))
+    cache.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    return parser
+
+
+def _experiment_options(args: argparse.Namespace) -> Dict[str, Any]:
+    options: Dict[str, Any] = {}
+    if args.max_layers is not None:
+        options["max_layers"] = args.max_layers
+    if args.max_output_tiles is not None:
+        options["max_output_tiles"] = args.max_output_tiles
+    if args.seed is not None:
+        options["seed"] = args.seed
+    return options
+
+
+def _render(table: ResultTable, output_format: str) -> str:
+    if output_format == "json":
+        return table.to_json(indent=2)
+    if output_format == "csv":
+        return table.to_csv()
+    return table.to_text()
+
+
+def _command_list() -> int:
+    rows = [
+        (experiment.name, experiment.description) for experiment in list_experiments()
+    ]
+    print(format_table("experiments", ("name", "description"), rows))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    table = run_named(
+        args.experiment,
+        _experiment_options(args),
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_root=args.cache_dir,
+    )
+    rendered = _render(table, args.format)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+            if not rendered.endswith("\n"):
+                handle.write("\n")
+        print(f"wrote {len(table)} rows to {args.out}", file=sys.stderr)
+    else:
+        print(rendered)
+    meta = table.meta
+    print(
+        f"{meta.get('experiment', args.experiment)}: {meta.get('trials', len(table))} trials "
+        f"({meta.get('cached', 0)} cached, {meta.get('executed', 0)} executed) "
+        f"in {meta.get('seconds', 0.0):.2f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"cache root:  {stats['root']}")
+    print(f"entries:     {stats['entries']}")
+    print(f"total bytes: {stats['bytes']}")
+    for experiment, count in sorted(stats["experiments"].items()):
+        print(f"  {experiment}: {count}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _command_list()
+        if args.command in ("run", "dump"):
+            return _command_run(args)
+        if args.command == "cache":
+            return _command_cache(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

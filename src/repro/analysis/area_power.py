@@ -29,7 +29,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from ..core.engine import EngineConfig, catalog, get_engine
+from ..core.engine import EngineConfig, get_engine
 
 # -- calibrated structural cost constants (arbitrary units, MAC = 1.0) -------
 
@@ -139,11 +139,34 @@ def estimate(engine: EngineConfig, baseline: EngineConfig = None) -> EngineCostE
     )
 
 
-def figure14_table(names: Sequence[str] = None) -> List[EngineCostEstimate]:
-    """The Figure 14 data: one estimate per Table III engine, in paper order."""
-    if names is None:
-        names = list(catalog().keys())
-    return [estimate(get_engine(name)) for name in names]
+def figure14_table(
+    names: Sequence[str] = None,
+    *,
+    jobs: int = None,
+    cache: object = True,
+    cache_root: str = None,
+) -> List[EngineCostEstimate]:
+    """The Figure 14 data: one estimate per Table III engine, in paper order.
+
+    The per-engine estimates are evaluated through :mod:`repro.experiments`
+    (cached, optionally parallel), one trial per design point.
+    """
+    from ..experiments.figures import figure14_spec
+    from ..experiments.runner import run_experiment
+
+    spec = figure14_spec(names)
+    table = run_experiment(spec, jobs=jobs, cache=cache, cache_root=cache_root)
+    return [
+        EngineCostEstimate(
+            name=row["engine"],
+            area=row["area"],
+            power=row["power"],
+            frequency_ghz=row["frequency_ghz"],
+            area_normalized=row["area_normalized"],
+            power_normalized=row["power_normalized"],
+        )
+        for row in table.rows
+    ]
 
 
 def sparse_power_overheads() -> Dict[int, float]:

@@ -17,7 +17,7 @@ metadata).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..types import GemmShape
@@ -103,21 +103,27 @@ def figure3_series(
     *,
     shape: GemmShape = DEFAULT_LAYER,
     bandwidth_gbps: float = MEMORY_BANDWIDTH_GBPS,
+    jobs: Optional[int] = None,
+    cache: object = True,
+    cache_root: Optional[str] = None,
 ) -> Dict[str, List[float]]:
     """The four Figure 3 curves: effective TFLOPS per engine per density.
 
     Returns a dictionary with a ``"density_percent"`` axis plus one series per
-    engine class.
+    engine class.  The (engine x density) grid is evaluated through
+    :mod:`repro.experiments` (cached, optionally parallel).
     """
+    from ..experiments.figures import figure3_spec
+    from ..experiments.runner import run_experiment
+
+    spec = figure3_spec(densities, shape=shape, bandwidth_gbps=bandwidth_gbps)
+    table = run_experiment(spec, jobs=jobs, cache=cache, cache_root=cache_root)
     series: Dict[str, List[float]] = {
         "density_percent": [density * 100 for density in densities]
     }
-    for key, engine in FIGURE3_ENGINES.items():
+    for key in FIGURE3_ENGINES:
         series[key] = [
-            effective_throughput_tflops(
-                engine, density, shape=shape, bandwidth_gbps=bandwidth_gbps
-            )
-            for density in densities
+            row["effective_tflops"] for row in table.rows if row["engine"] == key
         ]
     return series
 

@@ -11,6 +11,11 @@ for a configurable number of output tiles and the measured runtime is scaled
 back up by the covered fraction; the kernels are perfectly periodic across
 output tiles, so the extrapolation only ignores the final pipeline drain
 (negligible at these sizes).  EXPERIMENTS.md documents this.
+
+The sweep itself (:func:`figure13_experiment` / :func:`figure13_table`) runs
+through :mod:`repro.experiments`, which adds content-addressed result caching
+and optional multiprocessing fan-out; :func:`simulate_layer` remains the
+low-level single-point entry the trial runner executes.
 """
 
 from __future__ import annotations
@@ -18,15 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..core.engine import EngineConfig, catalog, get_engine, stc_like_engine
+from ..core.engine import EngineConfig, get_engine, stc_like_engine
 from ..cpu.params import MachineParams, default_machine
 from ..cpu.simulator import CycleApproximateSimulator, SimulationResult
-from ..errors import ConfigurationError
 from ..kernels.gemm import build_dense_gemm_kernel
 from ..kernels.program import KernelProgram
 from ..kernels.spmm import build_spmm_kernel
-from ..types import GemmShape, SparsityPattern
-from ..workloads.layers import WorkloadLayer, all_layers
+from ..types import SparsityPattern
+from ..workloads.layers import WorkloadLayer
 
 #: Output tiles traced per simulation before scaling (steady-state sampling).
 DEFAULT_MAX_OUTPUT_TILES = 2
@@ -78,21 +82,25 @@ def build_layer_kernel(
 
 @dataclass(frozen=True)
 class LayerRuntime:
-    """Runtime of one (layer, pattern, engine) combination."""
+    """Runtime of one (layer, pattern, engine) combination.
+
+    ``result`` carries the full :class:`SimulationResult` when the point was
+    simulated in this process (:func:`simulate_layer`); points rehydrated
+    from the experiment cache only carry the scalar summary below.
+    """
 
     layer: str
     pattern: SparsityPattern
     engine: str
     core_cycles_scaled: float
     simulated_fraction: float
-    result: SimulationResult
+    result: Optional[SimulationResult] = None
+    core_frequency_ghz: float = 2.0
 
     @property
     def runtime_seconds(self) -> float:
         """Scaled wall-clock runtime at the core frequency."""
-        return self.core_cycles_scaled / (
-            self.result.machine.core.frequency_ghz * 1e9
-        )
+        return self.core_cycles_scaled / (self.core_frequency_ghz * 1e9)
 
 
 def simulate_layer(
@@ -118,6 +126,7 @@ def simulate_layer(
         core_cycles_scaled=scaled,
         simulated_fraction=program.simulated_fraction,
         result=result,
+        core_frequency_ghz=result.machine.core.frequency_ghz,
     )
 
 
@@ -132,36 +141,94 @@ def figure13_experiment(
     ),
     machine: Optional[MachineParams] = None,
     max_output_tiles: Optional[int] = DEFAULT_MAX_OUTPUT_TILES,
+    jobs: Optional[int] = None,
+    cache: object = True,
+    cache_root: Optional[str] = None,
 ) -> List[LayerRuntime]:
-    """Run the full Figure 13 sweep and return every measured point."""
-    chosen_layers = list(layers) if layers is not None else all_layers()
-    results: List[LayerRuntime] = []
-    for layer in chosen_layers:
-        for pattern in patterns:
-            for name in engine_names:
-                engine = resolve_engine(name)
-                results.append(
-                    simulate_layer(
-                        layer,
-                        pattern,
-                        engine,
-                        machine=machine,
-                        max_output_tiles=max_output_tiles,
-                    )
-                )
-    return results
+    """Run the full Figure 13 sweep and return every measured point.
+
+    The sweep goes through :mod:`repro.experiments`: results are served from
+    the content-addressed cache when available and the misses are fanned out
+    over ``jobs`` worker processes (``None`` defers to ``REPRO_JOBS``;
+    default serial).  Point order matches the historical strictly-serial
+    loop: layers outermost, then patterns, then engines.
+    """
+    table = figure13_table(
+        layers=layers,
+        engine_names=engine_names,
+        patterns=patterns,
+        machine=machine,
+        max_output_tiles=max_output_tiles,
+        jobs=jobs,
+        cache=cache,
+        cache_root=cache_root,
+    )
+    return [
+        LayerRuntime(
+            layer=row["layer"],
+            pattern=SparsityPattern(row["pattern"]),
+            engine=row["engine"],
+            core_cycles_scaled=float(row["core_cycles_scaled"]),
+            simulated_fraction=float(row["simulated_fraction"]),
+            result=None,
+            core_frequency_ghz=float(row["core_frequency_ghz"]),
+        )
+        for row in table.rows
+    ]
+
+
+def figure13_table(
+    *,
+    layers: Optional[Sequence[WorkloadLayer]] = None,
+    engine_names: Sequence[str] = FIGURE13_ENGINE_NAMES,
+    patterns: Sequence[SparsityPattern] = (
+        SparsityPattern.DENSE_4_4,
+        SparsityPattern.SPARSE_2_4,
+        SparsityPattern.SPARSE_1_4,
+    ),
+    machine: Optional[MachineParams] = None,
+    max_output_tiles: Optional[int] = DEFAULT_MAX_OUTPUT_TILES,
+    jobs: Optional[int] = None,
+    cache: object = True,
+    cache_root: Optional[str] = None,
+):
+    """The Figure 13 sweep as a :class:`~repro.experiments.results.ResultTable`."""
+    from ..experiments.figures import figure13_spec
+    from ..experiments.runner import run_experiment
+
+    spec = figure13_spec(
+        layers=layers,
+        engine_names=engine_names,
+        patterns=patterns,
+        machine=machine,
+        max_output_tiles=max_output_tiles,
+    )
+    return run_experiment(spec, jobs=jobs, cache=cache, cache_root=cache_root)
+
+
+def _results_table(results: Sequence[LayerRuntime]):
+    """Project LayerRuntime points onto the shared ResultTable reductions."""
+    from ..experiments.results import ResultTable
+
+    return ResultTable(
+        ("layer", "pattern", "engine", "core_cycles_scaled"),
+        (
+            {
+                "layer": result.layer,
+                "pattern": result.pattern.value,
+                "engine": result.engine,
+                "core_cycles_scaled": result.core_cycles_scaled,
+            }
+            for result in results
+        ),
+    )
 
 
 def normalized_runtimes(results: Sequence[LayerRuntime]) -> Dict[str, float]:
     """Normalise runtimes by the slowest point, as Figure 13 does."""
-    if not results:
-        raise ConfigurationError("no results to normalise")
-    longest = max(result.core_cycles_scaled for result in results)
-    return {
-        f"{result.layer}/{result.pattern.value}/{result.engine}": result.core_cycles_scaled
-        / longest
-        for result in results
-    }
+    return _results_table(results).normalized_to_max(
+        "core_cycles_scaled", ("layer", "pattern", "engine")
+    )
 
 
 def average_speedup(
@@ -172,23 +239,14 @@ def average_speedup(
     pattern: SparsityPattern,
 ) -> float:
     """Geometric-mean speed-up of one engine over a baseline for one pattern."""
-    by_key: Dict[str, Dict[str, float]] = {}
-    for result in results:
-        if result.pattern is not pattern:
-            continue
-        by_key.setdefault(result.layer, {})[result.engine] = result.core_cycles_scaled
-    ratios = []
-    for layer, engines in by_key.items():
-        if baseline_engine in engines and target_engine in engines:
-            ratios.append(engines[baseline_engine] / engines[target_engine])
-    if not ratios:
-        raise ConfigurationError(
-            f"no overlapping measurements for {baseline_engine} vs {target_engine}"
-        )
-    product = 1.0
-    for ratio in ratios:
-        product *= ratio
-    return product ** (1.0 / len(ratios))
+    return _results_table(results).geomean_speedup(
+        "core_cycles_scaled",
+        pivot_column="engine",
+        baseline=baseline_engine,
+        target=target_engine,
+        group_by=("layer",),
+        where={"pattern": pattern.value},
+    )
 
 
 def headline_speedups(
@@ -198,6 +256,9 @@ def headline_speedups(
     max_output_tiles: Optional[int] = DEFAULT_MAX_OUTPUT_TILES,
     baseline: str = "VEGETA-D-1-2",
     target: str = "VEGETA-S-16-2+OF",
+    jobs: Optional[int] = None,
+    cache: object = True,
+    cache_root: Optional[str] = None,
 ) -> Dict[str, float]:
     """The abstract's structured-sparsity headline speed-ups.
 
@@ -216,10 +277,15 @@ def headline_speedups(
         patterns=patterns,
         machine=machine,
         max_output_tiles=max_output_tiles,
+        jobs=jobs,
+        cache=cache,
+        cache_root=cache_root,
     )
     return {
         pattern.value: average_speedup(
-            results, baseline_engine=baseline, target_engine=resolve_engine(target).name,
+            results,
+            baseline_engine=resolve_engine(baseline).name,
+            target_engine=resolve_engine(target).name,
             pattern=pattern,
         )
         for pattern in patterns

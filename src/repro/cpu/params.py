@@ -10,7 +10,8 @@ Section III-A.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping
 
 from ..errors import ConfigurationError
 
@@ -118,6 +119,21 @@ class MachineParams:
     memory: MemoryParams = field(default_factory=MemoryParams)
     #: Model the paper's "data is prefetched to the L2 cache" assumption.
     prefetch_into_l2: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form of the machine, for experiment specs and caching."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "MachineParams":
+        """Rebuild a machine description from :meth:`to_dict` output."""
+        return MachineParams(
+            core=CoreParams(**data["core"]),
+            l1=CacheParams(**data["l1"]),
+            l2=CacheParams(**data["l2"]),
+            memory=MemoryParams(**data["memory"]),
+            prefetch_into_l2=data["prefetch_into_l2"],
+        )
 
 
 def default_machine() -> MachineParams:

@@ -1,0 +1,74 @@
+"""Unified experiment subsystem: specs, executors, caching, result tables.
+
+Every sweep in the repository — the paper's figure reproductions, the
+benchmark suites, the examples and the ``python -m repro`` CLI — runs
+through this package:
+
+* :mod:`repro.experiments.spec` — declarative :class:`ExperimentSpec` /
+  :class:`Trial` cross-product model,
+* :mod:`repro.experiments.executor` — serial and multiprocessing backends
+  with deterministic result ordering (``REPRO_JOBS`` / ``jobs=``),
+* :mod:`repro.experiments.cache` — content-addressed on-disk result cache
+  (``REPRO_CACHE_DIR``, default ``.repro-cache``),
+* :mod:`repro.experiments.results` — :class:`ResultTable` with JSON/CSV
+  serialization and the shared normalize/speed-up reductions,
+* :mod:`repro.experiments.registry` — named experiments and trial runners,
+* :mod:`repro.experiments.figures` — the built-in figure sweeps
+  (``fig13``, ``fig15``, ``roofline``, ``area-power``, ``headline``).
+
+Quickstart::
+
+    from repro.experiments import run_named
+
+    table = run_named("fig13", {"max_layers": 2}, jobs=4)
+    print(table.to_text("Figure 13"))
+"""
+
+from .cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, NullCache, ResultCache, default_cache_root
+from .executor import (
+    JOBS_ENV,
+    MultiprocessExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_jobs,
+)
+from .registry import (
+    Experiment,
+    get_experiment,
+    get_trial_runner,
+    list_experiments,
+    register_experiment,
+    trial_runner,
+)
+from .results import ResultTable, format_table, geomean, print_table
+from .runner import run_experiment, run_named
+from .spec import CACHE_SCHEMA_VERSION, ExperimentSpec, Trial, canonical_json
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "Experiment",
+    "ExperimentSpec",
+    "JOBS_ENV",
+    "MultiprocessExecutor",
+    "NullCache",
+    "ResultCache",
+    "ResultTable",
+    "SerialExecutor",
+    "Trial",
+    "canonical_json",
+    "default_cache_root",
+    "format_table",
+    "geomean",
+    "get_experiment",
+    "get_trial_runner",
+    "list_experiments",
+    "make_executor",
+    "print_table",
+    "register_experiment",
+    "resolve_jobs",
+    "run_experiment",
+    "run_named",
+    "trial_runner",
+]

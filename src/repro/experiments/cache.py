@@ -1,0 +1,113 @@
+"""Content-addressed on-disk result cache.
+
+Every trial result is stored as one small JSON file whose name is the SHA-256
+of (cache schema version, experiment name, spec version, trial parameters) —
+see :meth:`repro.experiments.spec.ExperimentSpec.cache_key`.  Because the key
+covers every input that can change a result, there is no explicit
+invalidation: changing a parameter, a spec version, or the schema version
+simply addresses different entries, and stale entries are garbage that
+``repro cache clear`` removes.
+
+The cache root defaults to ``.repro-cache`` under the current working
+directory and can be redirected with the ``REPRO_CACHE_DIR`` environment
+variable (or per-call with ``cache_root`` / ``--cache-dir``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+#: Environment variable overriding the cache root directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_root() -> Path:
+    """The cache root honoring the ``REPRO_CACHE_DIR`` override."""
+    return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+class NullCache:
+    """A cache that stores nothing (``--no-cache`` / ``cache=False``)."""
+
+    def get(self, experiment: str, key: str) -> Optional[Dict[str, Any]]:
+        return None
+
+    def put(self, experiment: str, key: str, row: Dict[str, Any]) -> None:
+        return None
+
+    def clear(self) -> int:
+        return 0
+
+
+class ResultCache:
+    """Filesystem-backed content-addressed cache of trial result rows."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    def path_for(self, experiment: str, key: str) -> Path:
+        """Entry path; sharded by key prefix to keep directories small."""
+        return self.root / experiment / key[:2] / f"{key}.json"
+
+    def get(self, experiment: str, key: str) -> Optional[Dict[str, Any]]:
+        """The cached row for a key, or None on miss or corruption."""
+        path = self.path_for(experiment, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                row = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return row if isinstance(row, dict) else None
+
+    def put(self, experiment: str, key: str, row: Dict[str, Any]) -> None:
+        """Atomically persist one row (write-to-temp + rename)."""
+        path = self.path_for(experiment, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp = path.with_suffix(f".{os.getpid()}.tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(row, handle)
+        os.replace(temp, path)
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of entries removed."""
+        removed = sum(1 for _ in self.root.rglob("*.json"))
+        if self.root.exists():
+            shutil.rmtree(self.root)
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry count, total size, and per-experiment breakdown."""
+        entries = 0
+        total_bytes = 0
+        experiments: Dict[str, int] = {}
+        if self.root.exists():
+            for path in self.root.rglob("*.json"):
+                entries += 1
+                total_bytes += path.stat().st_size
+                experiment = path.relative_to(self.root).parts[0]
+                experiments[experiment] = experiments.get(experiment, 0) + 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": total_bytes,
+            "experiments": experiments,
+        }
+
+
+def resolve_cache(
+    cache: Union[bool, None, NullCache, ResultCache] = True,
+    cache_root: Optional[Union[str, Path]] = None,
+) -> Union[NullCache, ResultCache]:
+    """Normalize the user-facing ``cache`` argument to a cache object."""
+    if cache is True:
+        return ResultCache(cache_root)
+    if cache in (False, None):
+        return NullCache()
+    return cache

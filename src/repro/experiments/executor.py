@@ -1,0 +1,103 @@
+"""Execution backends: serial and multiprocessing fan-out.
+
+Both backends take ``(index, params)`` pairs and return ``(index, row)``
+pairs; the runner reassembles rows in index order, so results are
+deterministic and byte-identical regardless of backend or worker timing.
+
+The parallel backend shards trials into contiguous chunks (several chunks
+per worker so stragglers balance) and ships each chunk to a worker process
+as plain data — the worker resolves the trial-runner function by name from
+the registry, which the ``fork`` start method inherits and the ``spawn``
+method re-imports.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .registry import get_trial_runner
+
+#: Environment variable setting the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+#: Chunks created per worker; >1 lets fast workers steal remaining chunks.
+CHUNKS_PER_JOB = 4
+
+IndexedParams = Tuple[int, Dict[str, Any]]
+IndexedRow = Tuple[int, Dict[str, Any]]
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the worker count: explicit argument, then ``REPRO_JOBS``, then 1.
+
+    Zero or negative values mean "all cores".
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{JOBS_ENV} must be an integer, got {env!r}"
+            ) from None
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+class SerialExecutor:
+    """Run every trial in-process, in order."""
+
+    def run(self, runner_name: str, trials: Sequence[IndexedParams]) -> List[IndexedRow]:
+        function = get_trial_runner(runner_name)
+        return [(index, function(dict(params))) for index, params in trials]
+
+
+def _execute_chunk(payload: Tuple[str, Sequence[IndexedParams]]) -> List[IndexedRow]:
+    """Worker entry point: run one chunk of trials (must stay picklable)."""
+    runner_name, chunk = payload
+    function = get_trial_runner(runner_name)
+    return [(index, function(dict(params))) for index, params in chunk]
+
+
+class MultiprocessExecutor:
+    """Fan trials out across worker processes in contiguous chunks."""
+
+    def __init__(self, jobs: int, *, chunks_per_job: int = CHUNKS_PER_JOB):
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.chunks_per_job = max(1, chunks_per_job)
+
+    def run(self, runner_name: str, trials: Sequence[IndexedParams]) -> List[IndexedRow]:
+        if self.jobs == 1 or len(trials) <= 1:
+            return SerialExecutor().run(runner_name, trials)
+        chunk_size = max(1, math.ceil(len(trials) / (self.jobs * self.chunks_per_job)))
+        chunks = [
+            (runner_name, list(trials[start : start + chunk_size]))
+            for start in range(0, len(trials), chunk_size)
+        ]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork (e.g. Windows)
+            context = multiprocessing.get_context()
+        workers = min(self.jobs, len(chunks))
+        with context.Pool(processes=workers) as pool:
+            parts = pool.map(_execute_chunk, chunks)
+        results = [pair for part in parts for pair in part]
+        results.sort(key=lambda pair: pair[0])
+        return results
+
+
+def make_executor(jobs: Optional[int] = None):
+    """Build the right backend for a resolved job count."""
+    count = resolve_jobs(jobs)
+    if count <= 1:
+        return SerialExecutor()
+    return MultiprocessExecutor(count)

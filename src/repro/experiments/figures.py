@@ -1,0 +1,365 @@
+"""Built-in experiments: the paper's figure/table sweeps as declarative specs.
+
+Each figure is expressed as an :class:`~repro.experiments.spec.ExperimentSpec`
+factory plus a trial runner that executes exactly one point of the sweep.
+The analysis layer's public entry points (``figure13_experiment``,
+``figure15_series``, ``figure3_series``, ``figure14_table``) delegate here,
+so every reproduction path — unit tests, benchmarks, examples and the
+``python -m repro`` CLI — shares the same execution, caching and
+parallelism machinery.
+
+Spec versions are folded into cache keys; bump them when a runner's
+semantics change.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..analysis.area_power import TARGET_FREQUENCY_GHZ, estimate
+from ..analysis.granularity import granularity_speedups
+from ..analysis.roofline import (
+    DEFAULT_LAYER,
+    FIGURE3_ENGINES,
+    MEMORY_BANDWIDTH_GBPS,
+    effective_throughput_tflops,
+)
+from ..analysis.runtime import (
+    DEFAULT_MAX_OUTPUT_TILES,
+    FIGURE13_ENGINE_NAMES,
+    resolve_engine,
+    simulate_layer,
+)
+from ..core.engine import catalog
+from ..cpu.params import MachineParams
+from ..errors import ConfigurationError
+from ..types import GemmShape, SparsityPattern
+from ..workloads.generator import generate_unstructured, scaled_problem
+from ..workloads.layers import WorkloadLayer, all_layers, get_layer
+from ..workloads.sweeps import FIGURE13_PATTERNS, FIGURE15_SPARSITY_DEGREES
+from .registry import register_experiment, trial_runner
+from .results import ResultTable
+from .spec import ExperimentSpec
+
+FIG13_SPEC_VERSION = "1"
+FIG15_SPEC_VERSION = "1"
+ROOFLINE_SPEC_VERSION = "1"
+AREA_POWER_SPEC_VERSION = "1"
+
+#: Headline comparison of the abstract (RASA-DM vs best VEGETA-S design).
+HEADLINE_BASELINE = "VEGETA-D-1-2"
+HEADLINE_TARGET = "VEGETA-S-16-2+OF"
+
+#: Paper values the headline experiment reports alongside the measurements.
+HEADLINE_PAPER_VALUES = {"4:4": 1.09, "2:4": 2.20, "1:4": 3.74, "unstructured-95%": 3.28}
+
+
+def _layer_names(layers: Optional[Sequence[Union[str, WorkloadLayer]]]) -> List[str]:
+    chosen = list(layers) if layers is not None else all_layers()
+    return [layer if isinstance(layer, str) else layer.name for layer in chosen]
+
+
+def _limited_layers(options: Dict[str, Any]) -> List[str]:
+    names = [layer.name for layer in all_layers()]
+    max_layers = options.get("max_layers")
+    if max_layers is not None:
+        if int(max_layers) < 1:
+            raise ConfigurationError("max_layers must be >= 1")
+        names = names[: int(max_layers)]
+    return names
+
+
+# -- Figure 13: layer runtimes across engines and sparsity patterns ----------
+
+
+def figure13_spec(
+    *,
+    layers: Optional[Sequence[Union[str, WorkloadLayer]]] = None,
+    engine_names: Sequence[str] = FIGURE13_ENGINE_NAMES,
+    patterns: Sequence[SparsityPattern] = FIGURE13_PATTERNS,
+    machine: Optional[MachineParams] = None,
+    max_output_tiles: Optional[int] = DEFAULT_MAX_OUTPUT_TILES,
+) -> ExperimentSpec:
+    """The Figure 13 sweep: layers x patterns x engines."""
+    return ExperimentSpec(
+        name="fig13",
+        version=FIG13_SPEC_VERSION,
+        axes={
+            "layer": _layer_names(layers),
+            "pattern": [pattern.value for pattern in patterns],
+            "engine": list(engine_names),
+        },
+        fixed={
+            "machine": machine.to_dict() if machine is not None else None,
+            "max_output_tiles": max_output_tiles,
+        },
+        columns=(
+            "layer",
+            "pattern",
+            "engine",
+            "core_cycles_scaled",
+            "simulated_fraction",
+            "core_cycles",
+            "core_frequency_ghz",
+            "runtime_seconds",
+        ),
+    )
+
+
+@trial_runner("fig13")
+def run_fig13_trial(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Simulate one (layer, pattern, engine) point of Figure 13."""
+    layer = get_layer(params["layer"])
+    pattern = SparsityPattern(params["pattern"])
+    engine = resolve_engine(params["engine"])
+    machine = (
+        MachineParams.from_dict(params["machine"]) if params.get("machine") else None
+    )
+    runtime = simulate_layer(
+        layer,
+        pattern,
+        engine,
+        machine=machine,
+        max_output_tiles=params["max_output_tiles"],
+    )
+    return {
+        "layer": runtime.layer,
+        "pattern": runtime.pattern.value,
+        "engine": runtime.engine,
+        "core_cycles_scaled": runtime.core_cycles_scaled,
+        "simulated_fraction": runtime.simulated_fraction,
+        "core_cycles": runtime.result.core_cycles,
+        "core_frequency_ghz": runtime.result.machine.core.frequency_ghz,
+        "runtime_seconds": runtime.runtime_seconds,
+    }
+
+
+@register_experiment(
+    "fig13",
+    "Figure 13: normalized layer runtimes across engines and sparsity patterns",
+)
+def build_fig13(options: Dict[str, Any]) -> ExperimentSpec:
+    return figure13_spec(
+        layers=_limited_layers(options),
+        max_output_tiles=options.get("max_output_tiles", DEFAULT_MAX_OUTPUT_TILES),
+    )
+
+
+# -- Figure 15: granularity speed-ups on unstructured sparsity ---------------
+
+
+def figure15_spec(
+    degrees: Sequence[float],
+    *,
+    layers: Optional[Sequence[Union[str, WorkloadLayer]]] = None,
+    seed: int = 0,
+    max_weight_elements: int = 1 << 18,
+) -> ExperimentSpec:
+    """The Figure 15 sweep: sparsity degrees x workload layers.
+
+    Each layer carries its own generator seed (``seed + position``) so the
+    sampled matrices match the historical ``figure15_series`` behaviour
+    exactly, trial by trial.
+    """
+    names = _layer_names(layers)
+    return ExperimentSpec(
+        name="fig15",
+        version=FIG15_SPEC_VERSION,
+        axes={
+            "degree": [float(degree) for degree in degrees],
+            "layer": [
+                {"name": name, "seed": seed + index}
+                for index, name in enumerate(names)
+            ],
+        },
+        fixed={"max_weight_elements": max_weight_elements},
+        columns=(
+            "degree",
+            "layer",
+            "dense",
+            "layer_wise",
+            "tile_wise",
+            "pseudo_row_wise",
+            "row_wise",
+            "unstructured",
+        ),
+    )
+
+
+@trial_runner("fig15")
+def run_fig15_trial(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Granularity speed-ups of one layer's weights at one sparsity degree."""
+    layer = get_layer(params["layer"]["name"])
+    shape = scaled_problem(layer.gemm, max_elements=params["max_weight_elements"])
+    operands = generate_unstructured(shape, params["degree"], seed=params["layer"]["seed"])
+    speedups = granularity_speedups(operands.a)
+    return {"degree": params["degree"], "layer": layer.name, **speedups}
+
+
+@register_experiment(
+    "fig15",
+    "Figure 15: speed-up vs unstructured sparsity degree per hardware granularity",
+)
+def build_fig15(options: Dict[str, Any]) -> ExperimentSpec:
+    return figure15_spec(
+        options.get("degrees", FIGURE15_SPARSITY_DEGREES),
+        layers=_limited_layers(options),
+        seed=options.get("seed", 0),
+        max_weight_elements=options.get("max_weight_elements", 1 << 18),
+    )
+
+
+# -- Figure 3: roofline throughput vs weight density -------------------------
+
+
+def figure3_spec(
+    densities: Sequence[float],
+    *,
+    shape: GemmShape = DEFAULT_LAYER,
+    bandwidth_gbps: float = MEMORY_BANDWIDTH_GBPS,
+) -> ExperimentSpec:
+    """The Figure 3 sweep: engine classes x weight densities."""
+    return ExperimentSpec(
+        name="roofline",
+        version=ROOFLINE_SPEC_VERSION,
+        axes={
+            "engine": list(FIGURE3_ENGINES),
+            "density": [float(density) for density in densities],
+        },
+        fixed={
+            "shape": [shape.m, shape.n, shape.k],
+            "bandwidth_gbps": bandwidth_gbps,
+        },
+        columns=("engine", "density", "density_percent", "effective_tflops"),
+    )
+
+
+@trial_runner("roofline")
+def run_roofline_trial(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Effective throughput of one engine class at one weight density."""
+    engine = FIGURE3_ENGINES[params["engine"]]
+    m, n, k = params["shape"]
+    tflops = effective_throughput_tflops(
+        engine,
+        params["density"],
+        shape=GemmShape(m=m, n=n, k=k),
+        bandwidth_gbps=params["bandwidth_gbps"],
+    )
+    return {
+        "engine": params["engine"],
+        "density": params["density"],
+        "density_percent": params["density"] * 100,
+        "effective_tflops": tflops,
+    }
+
+
+@register_experiment(
+    "roofline",
+    "Figure 3: effective throughput of dense/sparse vector/matrix engines",
+)
+def build_roofline(options: Dict[str, Any]) -> ExperimentSpec:
+    densities = options.get("densities", [d / 100 for d in range(2, 101, 2)])
+    return figure3_spec(densities)
+
+
+# -- Figure 14: area / power / frequency per engine design point -------------
+
+
+def figure14_spec(names: Optional[Sequence[str]] = None) -> ExperimentSpec:
+    """The Figure 14 sweep: one trial per Table III engine design point."""
+    return ExperimentSpec(
+        name="area-power",
+        version=AREA_POWER_SPEC_VERSION,
+        axes={"engine": list(names) if names is not None else list(catalog())},
+        columns=(
+            "engine",
+            "area",
+            "power",
+            "frequency_ghz",
+            "area_normalized",
+            "power_normalized",
+            "meets_target_frequency",
+        ),
+    )
+
+
+@trial_runner("area-power")
+def run_area_power_trial(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Analytical cost estimate of one engine design point."""
+    cost = estimate(resolve_engine(params["engine"]))
+    return {
+        "engine": cost.name,
+        "area": cost.area,
+        "power": cost.power,
+        "frequency_ghz": cost.frequency_ghz,
+        "area_normalized": cost.area_normalized,
+        "power_normalized": cost.power_normalized,
+        "meets_target_frequency": cost.frequency_ghz >= TARGET_FREQUENCY_GHZ,
+    }
+
+
+@register_experiment(
+    "area-power",
+    "Figure 14: normalized area/power and maximum frequency per engine",
+)
+def build_area_power(options: Dict[str, Any]) -> ExperimentSpec:
+    return figure14_spec()
+
+
+# -- Headline: the abstract's speed-up summary -------------------------------
+
+
+def _headline_reduce(table: ResultTable, options: Dict[str, Any]) -> ResultTable:
+    """Reduce the two-engine Figure 13 sweep to the abstract's speed-ups."""
+    from ..analysis.granularity import headline_unstructured_speedup
+
+    # Rows store canonical engine names, so canonicalize both pivots.
+    target = resolve_engine(options.get("target", HEADLINE_TARGET)).name
+    baseline = resolve_engine(options.get("baseline", HEADLINE_BASELINE)).name
+    rows = []
+    for pattern in FIGURE13_PATTERNS:
+        speedup = table.geomean_speedup(
+            "core_cycles_scaled",
+            pivot_column="engine",
+            baseline=baseline,
+            target=target,
+            group_by=("layer",),
+            where={"pattern": pattern.value},
+        )
+        rows.append(
+            {
+                "sparsity": pattern.value,
+                "paper": HEADLINE_PAPER_VALUES[pattern.value],
+                "speedup": speedup,
+            }
+        )
+    rows.append(
+        {
+            "sparsity": "unstructured-95%",
+            "paper": HEADLINE_PAPER_VALUES["unstructured-95%"],
+            "speedup": headline_unstructured_speedup(
+                0.95,
+                seed=options.get("seed", 0),
+                jobs=options.get("jobs"),
+                cache=options.get("cache", True),
+                cache_root=options.get("cache_root"),
+            ),
+        }
+    )
+    return ResultTable(("sparsity", "paper", "speedup"), rows)
+
+
+@register_experiment(
+    "headline",
+    "Abstract: speed-ups of the best VEGETA-S engine over the SOTA dense engine",
+    reduce=_headline_reduce,
+)
+def build_headline(options: Dict[str, Any]) -> ExperimentSpec:
+    return figure13_spec(
+        layers=_limited_layers(options),
+        engine_names=(
+            options.get("baseline", HEADLINE_BASELINE),
+            options.get("target", HEADLINE_TARGET),
+        ),
+        max_output_tiles=options.get("max_output_tiles", DEFAULT_MAX_OUTPUT_TILES),
+    )

@@ -1,0 +1,106 @@
+"""The experiment runner: cache lookup, execution, table assembly.
+
+``run_experiment`` is the single entry point every sweep in the repository
+goes through: it expands the spec, satisfies what it can from the
+content-addressed cache, fans the misses out over the chosen executor,
+persists fresh rows, and reassembles everything in spec order.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import ConfigurationError
+from .cache import NullCache, ResultCache, resolve_cache
+from .executor import make_executor
+from .registry import get_experiment
+from .results import ResultTable
+from .spec import ExperimentSpec
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    jobs: Optional[int] = None,
+    cache: Union[bool, None, NullCache, ResultCache] = True,
+    cache_root: Optional[Union[str, Path]] = None,
+) -> ResultTable:
+    """Run every trial of a spec and return the assembled :class:`ResultTable`.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` defers to ``REPRO_JOBS`` (default 1,
+        i.e. serial), ``<= 0`` means all cores.
+    cache:
+        ``True`` (default) uses the on-disk result cache, ``False``/``None``
+        disables it, and an explicit cache object is used as-is.
+    cache_root:
+        Cache directory override when ``cache`` is ``True``.
+
+    The returned table's ``meta`` dict records ``trials`` / ``cached`` /
+    ``executed`` counts and the wall-clock ``seconds``.
+    """
+    started = time.perf_counter()
+    cache_obj = resolve_cache(cache, cache_root)
+    trials = spec.trials()
+    rows: List[Optional[Dict[str, Any]]] = [None] * len(trials)
+    pending = []
+    keys: Dict[int, str] = {}
+    for trial in trials:
+        key = spec.cache_key(trial)
+        keys[trial.index] = key
+        cached_row = cache_obj.get(spec.name, key)
+        if cached_row is not None:
+            rows[trial.index] = cached_row
+        else:
+            pending.append((trial.index, dict(trial.params)))
+
+    if pending:
+        executor = make_executor(jobs)
+        for index, row in executor.run(spec.name, pending):
+            cache_obj.put(spec.name, keys[index], row)
+            rows[index] = row
+
+    missing = [index for index, row in enumerate(rows) if row is None]
+    if missing:
+        raise ConfigurationError(
+            f"{spec.name}: executor returned no result for trials {missing[:5]}"
+        )
+    columns = spec.columns or (tuple(rows[0].keys()) if rows else ())
+    table = ResultTable(columns, rows)
+    table.meta = {
+        "experiment": spec.name,
+        "trials": len(trials),
+        "cached": len(trials) - len(pending),
+        "executed": len(pending),
+        "seconds": time.perf_counter() - started,
+    }
+    return table
+
+
+def run_named(
+    name: str,
+    options: Optional[Dict[str, Any]] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: Union[bool, None, NullCache, ResultCache] = True,
+    cache_root: Optional[Union[str, Path]] = None,
+) -> ResultTable:
+    """Run a registered experiment by name, applying its reduce step if any."""
+    options = dict(options or {})
+    # Expose the execution knobs to spec factories / reduce steps that need
+    # to launch nested sweeps (e.g. the headline's unstructured component).
+    options.setdefault("jobs", jobs)
+    options.setdefault("cache", cache)
+    options.setdefault("cache_root", cache_root)
+    experiment = get_experiment(name)
+    spec = experiment.build(options)
+    table = run_experiment(spec, jobs=jobs, cache=cache, cache_root=cache_root)
+    if experiment.reduce is not None:
+        meta = table.meta
+        table = experiment.reduce(table, options)
+        table.meta = {**meta, **table.meta, "experiment": name}
+    return table

@@ -34,6 +34,32 @@ class TestResolveEngine:
         for name in FIGURE13_ENGINE_NAMES:
             assert resolve_engine(name) is not None
 
+    def test_stc_like_is_case_insensitive(self):
+        for spelling in ("stc-like", "STC-LIKE", "Stc-Like"):
+            engine = resolve_engine(spelling)
+            assert engine.name == "STC-like"
+            assert engine.sparse and not engine.supports_rowwise
+
+    def test_of_suffix_is_case_insensitive(self):
+        for spelling in ("VEGETA-S-16-2+of", "vegeta-s-16-2+OF", "vegeta-s-16-2+of"):
+            engine = resolve_engine(spelling)
+            assert engine.output_forwarding
+
+    def test_of_suffix_enables_output_forwarding_on_base_engine(self):
+        plain = resolve_engine("VEGETA-S-8-2")
+        forwarded = resolve_engine("VEGETA-S-8-2+OF")
+        assert not plain.output_forwarding
+        assert forwarded.output_forwarding
+        assert (forwarded.alpha, forwarded.beta) == (plain.alpha, plain.beta)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_engine("VEGETA-X-3-9")
+
+    def test_unknown_base_engine_with_of_suffix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_engine("VEGETA-X-3-9+OF")
+
 
 class TestBuildLayerKernel:
     def test_dense_engine_runs_dense_kernel_for_sparse_weights(self):

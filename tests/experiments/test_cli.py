@@ -1,0 +1,84 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def test_list_names_every_builtin_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig13", "fig15", "roofline", "area-power", "headline"):
+        assert name in out
+
+
+def test_run_area_power_table(capsys, cache_dir):
+    assert main(["run", "area-power", "--cache-dir", cache_dir]) == 0
+    captured = capsys.readouterr()
+    assert "VEGETA-S-16-2" in captured.out
+    assert "8 trials" in captured.err
+
+
+def test_run_fig13_scaled_down_parallel(capsys, cache_dir):
+    argv = [
+        "run", "fig13",
+        "--max-layers", "1",
+        "--max-output-tiles", "1",
+        "--jobs", "2",
+        "--cache-dir", cache_dir,
+        "--format", "csv",
+    ]
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    lines = captured.out.strip().splitlines()
+    assert lines[0].startswith("layer,pattern,engine,core_cycles_scaled")
+    assert len(lines) == 1 + 30  # 1 layer x 3 patterns x 10 engines
+    assert "30 executed" in captured.err
+
+    # Second invocation is served entirely from the cache.
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    assert "30 cached, 0 executed" in captured.err
+
+
+def test_dump_emits_json(capsys, cache_dir):
+    assert main(["dump", "roofline", "--cache-dir", cache_dir]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["columns"][0] == "engine"
+    assert len(payload["rows"]) == 4 * 50
+
+
+def test_out_writes_file(tmp_path, capsys, cache_dir):
+    out_file = tmp_path / "table.json"
+    assert main(
+        ["dump", "area-power", "--cache-dir", cache_dir, "--out", str(out_file)]
+    ) == 0
+    payload = json.loads(out_file.read_text())
+    assert len(payload["rows"]) == 8
+
+
+def test_no_cache_leaves_cache_dir_empty(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["run", "area-power", "--no-cache", "--cache-dir", str(cache)]) == 0
+    assert not cache.exists()
+
+
+def test_cache_info_and_clear(capsys, cache_dir):
+    main(["run", "area-power", "--cache-dir", cache_dir])
+    capsys.readouterr()
+    assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+    assert "entries:     8" in capsys.readouterr().out
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed 8" in capsys.readouterr().out
+
+
+def test_unknown_experiment_is_an_error(capsys, cache_dir):
+    assert main(["run", "no-such-figure", "--cache-dir", cache_dir]) == 2
+    assert "unknown experiment" in capsys.readouterr().err

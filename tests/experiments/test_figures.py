@@ -1,0 +1,156 @@
+"""Tests for the built-in figure experiments and their analysis-layer parity."""
+
+import pytest
+
+from repro.analysis.granularity import figure15_series
+from repro.analysis.roofline import figure3_series
+from repro.analysis.runtime import figure13_experiment, simulate_layer, resolve_engine
+from repro.cpu.params import MachineParams
+from repro.experiments.cache import ResultCache
+from repro.experiments.figures import figure13_spec, figure15_spec
+from repro.experiments.runner import run_experiment, run_named
+from repro.types import SparsityPattern
+from repro.workloads.layers import get_layer
+
+
+class TestMachineParamsCodec:
+    def test_round_trip(self):
+        machine = MachineParams()
+        clone = MachineParams.from_dict(machine.to_dict())
+        assert clone == machine
+
+    def test_dict_is_plain_data(self):
+        import json
+
+        json.dumps(MachineParams().to_dict())
+
+
+class TestFig13:
+    def test_trial_matches_direct_simulation(self, tmp_path):
+        layer = get_layer("GPT-L1")
+        pattern = SparsityPattern.SPARSE_2_4
+        engine_name = "VEGETA-S-16-2"
+        direct = simulate_layer(
+            layer, pattern, resolve_engine(engine_name), max_output_tiles=1
+        )
+        table = run_experiment(
+            figure13_spec(
+                layers=[layer],
+                engine_names=(engine_name,),
+                patterns=(pattern,),
+                max_output_tiles=1,
+            ),
+            cache=ResultCache(tmp_path),
+        )
+        row = table.rows[0]
+        assert row["core_cycles_scaled"] == direct.core_cycles_scaled
+        assert row["simulated_fraction"] == direct.simulated_fraction
+        assert row["core_cycles"] == direct.result.core_cycles
+
+    def test_figure13_experiment_rehydrates_layer_runtimes(self, tmp_path):
+        results = figure13_experiment(
+            layers=[get_layer("GPT-L1")],
+            engine_names=("VEGETA-D-1-2",),
+            patterns=(SparsityPattern.DENSE_4_4,),
+            max_output_tiles=1,
+            cache=ResultCache(tmp_path),
+        )
+        assert len(results) == 1
+        point = results[0]
+        assert point.pattern is SparsityPattern.DENSE_4_4
+        assert point.result is None
+        assert point.runtime_seconds > 0
+
+    def test_custom_machine_changes_cache_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        layer = get_layer("GPT-L1")
+        common = dict(
+            layers=[layer],
+            engine_names=("VEGETA-D-1-2",),
+            patterns=(SparsityPattern.DENSE_4_4,),
+            max_output_tiles=1,
+        )
+        default_spec = figure13_spec(**common)
+        custom_spec = figure13_spec(machine=MachineParams(), **common)
+        run_experiment(default_spec, cache=cache)
+        table = run_experiment(custom_spec, cache=cache)
+        # Same physical machine, but an explicit machine dict is a distinct key.
+        assert table.meta["executed"] == 1
+
+
+class TestFig15:
+    def test_series_matches_subsystem_rows(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        degrees = [0.9]
+        layers = [get_layer("BERT-L1"), get_layer("BERT-L2")]
+        points = figure15_series(
+            degrees, layers=layers, max_weight_elements=1 << 14, cache=cache
+        )
+        table = run_experiment(
+            figure15_spec(degrees, layers=layers, max_weight_elements=1 << 14),
+            cache=cache,
+        )
+        averaged = sum(row["row_wise"] for row in table.rows) / len(table.rows)
+        assert points[0].speedups["row_wise"] == pytest.approx(averaged)
+
+    def test_per_layer_seeds_follow_layer_position(self):
+        spec = figure15_spec([0.9], layers=["BERT-L1", "BERT-L2"], seed=5)
+        seeds = [value["seed"] for value in spec.axes["layer"]]
+        assert seeds == [5, 6]
+
+    def test_duplicate_degrees_average_independently(self):
+        layers = [get_layer("BERT-L1"), get_layer("BERT-L2")]
+        dup = figure15_series(
+            [0.5, 0.5], layers=layers, max_weight_elements=1 << 14, cache=False
+        )
+        single = figure15_series(
+            [0.5], layers=layers, max_weight_elements=1 << 14, cache=False
+        )
+        assert dup[0].speedups == single[0].speedups
+        assert dup[1].speedups == single[0].speedups
+
+
+class TestFig3:
+    def test_series_round_trips_through_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = figure3_series([0.1, 0.5, 1.0], cache=cache)
+        warm = figure3_series([0.1, 0.5, 1.0], cache=cache)
+        assert warm == cold
+        assert set(warm) == {
+            "density_percent",
+            "dense_vector",
+            "sparse_vector",
+            "dense_matrix",
+            "sparse_matrix",
+        }
+        assert all(len(series) == 3 for series in warm.values())
+
+
+class TestHeadlineExperiment:
+    def test_reduce_produces_one_row_per_sparsity_class(self, tmp_path):
+        table = run_named(
+            "headline",
+            {"max_layers": 1, "max_output_tiles": 1},
+            cache=ResultCache(tmp_path),
+        )
+        assert table.columns == ("sparsity", "paper", "speedup")
+        assert [row["sparsity"] for row in table.rows] == [
+            "4:4",
+            "2:4",
+            "1:4",
+            "unstructured-95%",
+        ]
+        assert all(row["speedup"] > 0 for row in table.rows)
+
+    def test_non_canonical_engine_spellings_accepted(self, tmp_path):
+        table = run_named(
+            "headline",
+            {
+                "baseline": "vegeta-d-1-2",
+                "target": "vegeta-s-16-2+of",
+                "max_layers": 1,
+                "max_output_tiles": 1,
+            },
+            cache=ResultCache(tmp_path),
+        )
+        assert all(row["speedup"] > 0 for row in table.rows)

@@ -1,0 +1,79 @@
+"""Tests for the content-addressed result cache."""
+
+from repro.experiments.cache import (
+    CACHE_DIR_ENV,
+    NullCache,
+    ResultCache,
+    default_cache_root,
+    resolve_cache,
+)
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        assert cache.get("demo", key) is None
+        cache.put("demo", key, {"value": 1.5})
+        assert cache.get("demo", key) == {"value": 1.5}
+
+    def test_entries_sharded_by_key_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "1" * 62
+        cache.put("demo", key, {"v": 1})
+        assert (tmp_path / "demo" / "cd" / f"{key}.json").exists()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ef" + "2" * 62
+        cache.put("demo", key, {"v": 1})
+        cache.path_for("demo", key).write_text("{not json")
+        assert cache.get("demo", key) is None
+
+    def test_clear_counts_and_removes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put("demo", f"{i:02d}" + "0" * 62, {"v": i})
+        assert cache.clear() == 3
+        assert cache.stats()["entries"] == 0
+
+    def test_stats_breakdown(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("one", "aa" + "0" * 62, {"v": 1})
+        cache.put("two", "bb" + "0" * 62, {"v": 2})
+        cache.put("two", "cc" + "0" * 62, {"v": 3})
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["experiments"] == {"one": 1, "two": 2}
+        assert stats["bytes"] > 0
+
+
+class TestRootResolution:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_root() == tmp_path / "elsewhere"
+        assert ResultCache().root == tmp_path / "elsewhere"
+
+    def test_default_is_local_directory(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert str(default_cache_root()) == ".repro-cache"
+
+
+class TestResolveCache:
+    def test_true_builds_result_cache(self, tmp_path):
+        cache = resolve_cache(True, tmp_path)
+        assert isinstance(cache, ResultCache) and cache.root == tmp_path
+
+    def test_false_and_none_build_null_cache(self):
+        assert isinstance(resolve_cache(False), NullCache)
+        assert isinstance(resolve_cache(None), NullCache)
+
+    def test_instances_pass_through(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert resolve_cache(cache) is cache
+
+    def test_null_cache_is_inert(self):
+        cache = NullCache()
+        cache.put("demo", "k", {"v": 1})
+        assert cache.get("demo", "k") is None
+        assert cache.clear() == 0
