@@ -5,6 +5,7 @@ Subcommands::
     python -m repro list                       # registered experiments
     python -m repro run fig13 --jobs 4         # run a sweep (cached)
     python -m repro dump fig13 --format csv    # run + emit machine-readable
+    python -m repro bench                      # simulator throughput benchmark
     python -m repro cache info                 # cache statistics
     python -m repro cache clear                # drop every cached result
 
@@ -12,7 +13,9 @@ Subcommands::
 variable) for the multiprocessing backend, ``--no-cache`` /
 ``--cache-dir`` (or ``REPRO_CACHE_DIR``) for the result cache, and
 ``--max-layers`` / ``--max-output-tiles`` / ``--seed`` to scale the sweep
-down.  See EXPERIMENTS.md for the full tour.
+down.  ``bench`` measures the trace-op throughput of the simulator's exact
+and fast paths and writes ``BENCH_simulator.json`` so the performance
+trajectory is tracked per commit.  See EXPERIMENTS.md for the full tour.
 """
 
 from __future__ import annotations
@@ -91,6 +94,30 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
+
+    bench = subparsers.add_parser(
+        "bench", help="measure simulator trace-op throughput (fast vs exact)"
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="write the JSON payload to this file (default: BENCH_simulator.json)",
+    )
+    bench.add_argument(
+        "--shape",
+        default=None,
+        help="benchmark a single dense GEMM of this MxNxK shape instead of the suite",
+    )
+    bench.add_argument(
+        "--engine",
+        default="VEGETA-D-1-2",
+        help="engine for --shape runs (default: VEGETA-D-1-2)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the scaled-down smoke workload set",
+    )
     return parser
 
 
@@ -148,6 +175,63 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from .analysis.bench import (
+        DEFAULT_BENCH_PATH,
+        DEFAULT_WORKLOADS,
+        QUICK_WORKLOADS,
+        BenchWorkload,
+        benchmark_simulator,
+        parse_shape,
+        write_benchmark,
+    )
+    from .types import SparsityPattern
+
+    if args.shape is not None:
+        shape = parse_shape(args.shape)
+        workloads = (
+            BenchWorkload(
+                name=f"dense-{shape.m}x{shape.n}x{shape.k}",
+                shape=shape,
+                pattern=SparsityPattern.DENSE_4_4,
+                engine_name=args.engine,
+            ),
+        )
+    elif args.quick:
+        workloads = QUICK_WORKLOADS
+    else:
+        workloads = DEFAULT_WORKLOADS
+
+    payload = benchmark_simulator(workloads)
+    rows = [
+        (
+            row["name"],
+            row["trace_ops"],
+            f"{row['exact_ops_per_sec']:,.0f}",
+            f"{row['fast_ops_per_sec']:,.0f}",
+            f"{row['speedup']:.1f}x",
+            f"{row['cycle_error']:.2e}",
+        )
+        for row in payload["workloads"]
+    ]
+    print(
+        format_table(
+            "simulator trace-op throughput",
+            ("workload", "ops", "exact ops/s", "fast ops/s", "speedup", "cycle err"),
+            rows,
+        )
+    )
+    print(
+        f"geomean speedup: {payload['speedup_geomean']:.1f}x "
+        f"(min {payload['speedup_min']:.1f}x, "
+        f"max cycle error {payload['max_cycle_error']:.2e})"
+    )
+    out = args.out if args.out is not None else DEFAULT_BENCH_PATH
+    write_benchmark(payload, out)
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
 def _command_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
@@ -170,6 +254,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_list()
         if args.command in ("run", "dump"):
             return _command_run(args)
+        if args.command == "bench":
+            return _command_bench(args)
         if args.command == "cache":
             return _command_cache(args)
     except ReproError as error:

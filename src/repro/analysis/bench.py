@@ -1,0 +1,160 @@
+"""Simulator throughput benchmark (``python -m repro bench``).
+
+Measures trace-op throughput of the cycle-approximate simulator's exact and
+fast paths on representative kernel workloads and cross-checks that both
+paths agree on cycle counts.  The CLI writes the measurements to
+``BENCH_simulator.json`` so the performance trajectory of the hottest path
+in the repository is tracked from PR to PR (CI uploads the file as an
+artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.engine import EngineConfig
+from ..cpu.simulator import CycleApproximateSimulator
+from ..errors import ConfigurationError
+from ..kernels.gemm import build_dense_gemm_kernel
+from ..kernels.program import KernelProgram
+from ..kernels.spmm import build_spmm_kernel
+from ..types import GemmShape, SparsityPattern
+from .runtime import resolve_engine
+
+#: Schema version of the emitted JSON payload.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default output file name.
+DEFAULT_BENCH_PATH = "BENCH_simulator.json"
+
+
+@dataclass(frozen=True)
+class BenchWorkload:
+    """One simulator benchmark point: a kernel plus the engine that runs it."""
+
+    name: str
+    shape: GemmShape
+    pattern: SparsityPattern
+    engine_name: str
+
+    def build(self) -> KernelProgram:
+        """Generate the untruncated kernel trace for this workload."""
+        if self.pattern is SparsityPattern.DENSE_4_4:
+            return build_dense_gemm_kernel(self.shape)
+        return build_spmm_kernel(self.shape, self.pattern)
+
+    def engine(self) -> EngineConfig:
+        """Resolve the engine configuration."""
+        return resolve_engine(self.engine_name)
+
+
+#: The benchmark workloads: a long dense K-loop kernel (the Figure 13 hot
+#: path) and a structured-sparse kernel with output forwarding.
+DEFAULT_WORKLOADS = (
+    BenchWorkload(
+        name="dense-512x512x1024",
+        shape=GemmShape(512, 512, 1024),
+        pattern=SparsityPattern.DENSE_4_4,
+        engine_name="VEGETA-D-1-2",
+    ),
+    BenchWorkload(
+        name="spmm-2:4-512x512x1024",
+        shape=GemmShape(512, 512, 1024),
+        pattern=SparsityPattern.SPARSE_2_4,
+        engine_name="VEGETA-S-16-2+OF",
+    ),
+)
+
+#: Scaled-down workloads for smoke tests (enough blocks to skip, small ops).
+QUICK_WORKLOADS = (
+    BenchWorkload(
+        name="dense-256x256x512",
+        shape=GemmShape(256, 256, 512),
+        pattern=SparsityPattern.DENSE_4_4,
+        engine_name="VEGETA-D-1-2",
+    ),
+)
+
+
+def parse_shape(text: str) -> GemmShape:
+    """Parse an ``MxNxK`` shape argument."""
+    parts = text.lower().split("x")
+    if len(parts) != 3:
+        raise ConfigurationError(f"expected a shape like 512x512x1024, got {text!r}")
+    try:
+        m, n, k = (int(part) for part in parts)
+    except ValueError as error:
+        raise ConfigurationError(f"invalid shape {text!r}: {error}") from error
+    return GemmShape(m=m, n=n, k=k)
+
+
+def _geomean(values: Sequence[float]) -> float:
+    from ..experiments.results import geomean
+
+    return geomean(list(values))
+
+
+def benchmark_workload(workload: BenchWorkload) -> Dict[str, Any]:
+    """Measure one workload: exact and fast runs over the same full trace."""
+    build_started = time.perf_counter()
+    program = workload.build()
+    build_seconds = time.perf_counter() - build_started
+    trace = program.trace
+    engine = workload.engine()
+    simulator = CycleApproximateSimulator(engine=engine)
+
+    started = time.perf_counter()
+    exact = simulator.run(trace, mode="exact")
+    exact_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    fast = simulator.run(trace, block_starts=program.block_starts)
+    fast_seconds = time.perf_counter() - started
+
+    cycle_error = abs(fast.core_cycles - exact.core_cycles) / max(exact.core_cycles, 1)
+    return {
+        "name": workload.name,
+        "shape": [workload.shape.m, workload.shape.n, workload.shape.k],
+        "pattern": workload.pattern.value,
+        "engine": workload.engine_name,
+        "trace_ops": len(trace),
+        "build_seconds": build_seconds,
+        "exact_seconds": exact_seconds,
+        "exact_ops_per_sec": len(trace) / exact_seconds,
+        "exact_core_cycles": exact.core_cycles,
+        "fast_seconds": fast_seconds,
+        "fast_ops_per_sec": len(trace) / fast_seconds,
+        "fast_core_cycles": fast.core_cycles,
+        "speedup": exact_seconds / fast_seconds,
+        "cycle_error": cycle_error,
+    }
+
+
+def benchmark_simulator(
+    workloads: Optional[Sequence[BenchWorkload]] = None,
+) -> Dict[str, Any]:
+    """Run the simulator benchmark suite and return the JSON-ready payload."""
+    chosen = list(workloads) if workloads is not None else list(DEFAULT_WORKLOADS)
+    rows: List[Dict[str, Any]] = [benchmark_workload(workload) for workload in chosen]
+    speedups = [row["speedup"] for row in rows]
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "workloads": rows,
+        "exact_ops_per_sec": _geomean([row["exact_ops_per_sec"] for row in rows]),
+        "fast_ops_per_sec": _geomean([row["fast_ops_per_sec"] for row in rows]),
+        "speedup_geomean": _geomean(speedups),
+        "speedup_min": min(speedups),
+        "max_cycle_error": max(row["cycle_error"] for row in rows),
+    }
+
+
+def write_benchmark(payload: Dict[str, Any], path: str = DEFAULT_BENCH_PATH) -> None:
+    """Write the benchmark payload as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")

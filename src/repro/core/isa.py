@@ -47,12 +47,7 @@ class Opcode(enum.Enum):
     @property
     def is_load(self) -> bool:
         """True for the memory -> register transfer instructions."""
-        return self in {
-            Opcode.TILE_LOAD_T,
-            Opcode.TILE_LOAD_U,
-            Opcode.TILE_LOAD_V,
-            Opcode.TILE_LOAD_M,
-        }
+        return self in _LOAD_OPCODES
 
     @property
     def is_store(self) -> bool:
@@ -62,32 +57,37 @@ class Opcode(enum.Enum):
     @property
     def is_compute(self) -> bool:
         """True for the tile GEMM / SPMM instructions."""
-        return self in {
-            Opcode.TILE_GEMM,
-            Opcode.TILE_SPMM_U,
-            Opcode.TILE_SPMM_V,
-            Opcode.TILE_SPMM_R,
-        }
+        return self in _COMPUTE_OPCODES
 
     @property
     def is_sparse_compute(self) -> bool:
         """True for the SPMM (sparse A) instructions."""
-        return self in {
-            Opcode.TILE_SPMM_U,
-            Opcode.TILE_SPMM_V,
-            Opcode.TILE_SPMM_R,
-        }
+        return self in _SPARSE_COMPUTE_OPCODES
 
     @property
     def memory_bytes(self) -> int:
         """Bytes transferred by a load/store; 0 for compute instructions."""
-        return {
-            Opcode.TILE_LOAD_T: TILE_REG_BYTES,
-            Opcode.TILE_LOAD_U: 2 * TILE_REG_BYTES,
-            Opcode.TILE_LOAD_V: 4 * TILE_REG_BYTES,
-            Opcode.TILE_LOAD_M: METADATA_REG_BYTES,
-            Opcode.TILE_STORE_T: TILE_REG_BYTES,
-        }.get(self, 0)
+        return _MEMORY_BYTES.get(self, 0)
+
+
+#: Hot-path opcode classes, resolved once (the simulator queries these for
+#: every trace op; building the sets per property call dominated profiles).
+_LOAD_OPCODES = frozenset(
+    {Opcode.TILE_LOAD_T, Opcode.TILE_LOAD_U, Opcode.TILE_LOAD_V, Opcode.TILE_LOAD_M}
+)
+_COMPUTE_OPCODES = frozenset(
+    {Opcode.TILE_GEMM, Opcode.TILE_SPMM_U, Opcode.TILE_SPMM_V, Opcode.TILE_SPMM_R}
+)
+_SPARSE_COMPUTE_OPCODES = frozenset(
+    {Opcode.TILE_SPMM_U, Opcode.TILE_SPMM_V, Opcode.TILE_SPMM_R}
+)
+_MEMORY_BYTES = {
+    Opcode.TILE_LOAD_T: TILE_REG_BYTES,
+    Opcode.TILE_LOAD_U: 2 * TILE_REG_BYTES,
+    Opcode.TILE_LOAD_V: 4 * TILE_REG_BYTES,
+    Opcode.TILE_LOAD_M: METADATA_REG_BYTES,
+    Opcode.TILE_STORE_T: TILE_REG_BYTES,
+}
 
 
 @dataclass(frozen=True)

@@ -28,8 +28,9 @@ and writes of C follow the same element order.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..errors import SimulationError
 from .engine import EngineConfig
@@ -88,11 +89,17 @@ class MatrixEnginePipeline:
     occupancy plus accumulator dependences with or without output forwarding.
     """
 
-    def __init__(self, engine: EngineConfig) -> None:
+    def __init__(self, engine: EngineConfig, retain_history: bool = True) -> None:
         self.engine = engine
         self._stage_free = {"WL": 0, "FF": 0, "FS": 0, "DR": 0}
         self._timings: Dict[int, TileComputeTiming] = {}
         self._completed: List[TileComputeTiming] = []
+        #: When False, completed timings are not accumulated (the simulator's
+        #: fast path schedules unbounded instruction streams and keeps only
+        #: the live accumulator producers via :meth:`fast_forward`).
+        self._retain_history = retain_history
+        self._makespan = 0
+        self._scheduled = 0
 
     # -- public API ---------------------------------------------------------------
 
@@ -162,7 +169,11 @@ class MatrixEnginePipeline:
         self._stage_free["FS"] = timing.fs_end
         self._stage_free["DR"] = timing.dr_end
         self._timings[request.op_id] = timing
-        self._completed.append(timing)
+        if self._retain_history:
+            self._completed.append(timing)
+        self._scheduled += 1
+        if timing.complete > self._makespan:
+            self._makespan = timing.complete
         return timing
 
     def schedule_all(
@@ -178,17 +189,53 @@ class MatrixEnginePipeline:
         except KeyError as error:
             raise SimulationError(f"op {op_id} has not been scheduled") from error
 
+    def fast_forward(
+        self, op_offset: int, cycle_offset: int, live_op_ids: Iterable[int]
+    ) -> None:
+        """Advance the pipeline over a block of skipped, steady-state work.
+
+        The simulator's fast path proves that a repeating instruction block
+        shifts every engine event by a constant number of cycles and then
+        skips whole blocks at once: op ids advance by ``op_offset``, every
+        stage clock and recorded timing advances by ``cycle_offset`` engine
+        cycles, and only the timings still referenced as live accumulator
+        producers (``live_op_ids``) are kept for dependence resolution.
+        """
+        for stage in self._stage_free:
+            self._stage_free[stage] += cycle_offset
+        kept: Dict[int, TileComputeTiming] = {}
+        for op_id in live_op_ids:
+            timing = self._timings.get(op_id)
+            if timing is None:
+                continue
+            kept[op_id + op_offset] = dataclasses.replace(
+                timing,
+                op_id=timing.op_id + op_offset,
+                wl_start=timing.wl_start + cycle_offset,
+                wl_end=timing.wl_end + cycle_offset,
+                ff_start=timing.ff_start + cycle_offset,
+                ff_end=timing.ff_end + cycle_offset,
+                fs_start=timing.fs_start + cycle_offset,
+                fs_end=timing.fs_end + cycle_offset,
+                dr_start=timing.dr_start + cycle_offset,
+                dr_end=timing.dr_end + cycle_offset,
+                complete=timing.complete + cycle_offset,
+            )
+        self._timings = kept
+        self._makespan += cycle_offset
+        # The skipped span scheduled op_offset instructions' worth of work;
+        # keep utilization()'s busy count consistent with the makespan.
+        self._scheduled += op_offset
+
     @property
     def completed(self) -> List[TileComputeTiming]:
-        """All scheduled timings in program order."""
+        """All scheduled timings in program order (empty without history)."""
         return list(self._completed)
 
     @property
     def makespan(self) -> int:
         """Cycle at which the last scheduled instruction completes."""
-        if not self._completed:
-            return 0
-        return max(timing.complete for timing in self._completed)
+        return self._makespan
 
     def utilization(self) -> float:
         """Fraction of MAC-cycles doing useful work over the makespan.
@@ -197,9 +244,9 @@ class MatrixEnginePipeline:
         array, i.e. 16 fully-busy cycles; utilisation is therefore
         ``16 * instructions / makespan``.
         """
-        if not self._completed:
+        if not self._scheduled:
             return 0.0
-        busy = 16 * len(self._completed)
+        busy = 16 * self._scheduled
         return busy / self.makespan if self.makespan else 0.0
 
 

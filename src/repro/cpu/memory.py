@@ -63,6 +63,18 @@ class MemorySystem:
             last = (address + nbytes - 1) // line
             self.hierarchy.warm_l2(number * line for number in range(first, last + 1))
 
+    # -- fast-forward support ----------------------------------------------------
+
+    def shift_time(self, delta: int) -> None:
+        """Advance the bandwidth bookkeeping clocks by ``delta`` core cycles.
+
+        Used by the simulator's fast path when it skips a steady-state block
+        of trace: the L2 port and DRAM channel availability move forward in
+        lock-step with the rest of the machine state.
+        """
+        self._l2_port_free += delta
+        self._dram_free += delta
+
     # -- request path ----------------------------------------------------------------
 
     def request(self, address: int, nbytes: int, cycle: int, is_store: bool = False) -> MemoryRequestResult:

@@ -22,22 +22,39 @@ design points:
 It is deliberately *approximate*: scalar ops retire in a single cycle and the
 out-of-order window is modelled only through the ROB/load-buffer limits, which
 is sufficient for the relative comparisons the paper reports.
+
+Two execution modes are provided:
+
+``"fast"`` (default)
+    Detects the kernel's steady-state periodicity (from the builder-supplied
+    ``block_starts`` hints or a signature scan of the trace), simulates a few
+    anchor blocks exactly, proves that consecutive blocks shift every event
+    by a constant cycle count, and then skips the remaining repetitions in
+    closed form.  Full Table IV traces simulate in milliseconds instead of
+    minutes; results match ``"exact"`` bit-for-bit whenever the proven shift
+    invariance holds (see :mod:`repro.cpu.fastsim`).
+
+``"exact"``
+    The original event-driven per-op loop, kept as the reference model and
+    used automatically whenever a trace exposes no periodic structure.
 """
 
 from __future__ import annotations
 
 import math
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Sequence, Tuple
 
 from ..core.engine import EngineConfig
-from ..core.isa import Opcode
 from ..core.pipeline import MatrixEnginePipeline, TileComputeRequest
 from ..errors import SimulationError
 from .memory import MemorySystem
 from .params import MachineParams, default_machine
 from .trace import TraceOp, TraceOpKind, TraceSummary, summarize_trace, trace_memory_footprint
+
+#: Recognised simulation modes.
+SIMULATION_MODES = ("fast", "exact")
 
 
 @dataclass
@@ -76,163 +93,154 @@ class SimulationResult:
         return self.instructions / self.core_cycles if self.core_cycles else 0.0
 
 
-class CycleApproximateSimulator:
-    """Simulates traces of VEGETA / vector / scalar instructions."""
+class SimulatorState:
+    """The complete mutable execution state of one simulation.
+
+    Both modes drive the same :meth:`step` transition function; the fast path
+    additionally uses :meth:`shift` to advance the whole state over a skipped
+    steady-state span in O(live state) instead of O(ops).
+    """
+
+    __slots__ = (
+        "machine",
+        "engine",
+        "core",
+        "memory",
+        "pipeline",
+        "ratio",
+        "treg_ready",
+        "mreg_ready",
+        "vreg_ready",
+        "last_compute_writer",
+        "compute_completion",
+        "rob",
+        "load_buffer",
+        "next_fma_slot",
+        "issue_cycle",
+        "issued_this_cycle",
+        "last_completion",
+        "engine_ops",
+        "next_compute_id",
+    )
 
     def __init__(
         self,
-        machine: Optional[MachineParams] = None,
-        engine: Optional[EngineConfig] = None,
+        machine: MachineParams,
+        engine: Optional[EngineConfig],
+        *,
+        retain_pipeline_history: bool = True,
     ) -> None:
-        self.machine = machine if machine is not None else default_machine()
+        self.machine = machine
         self.engine = engine
-
-    # -- public API -----------------------------------------------------------------
-
-    def run(self, trace: Sequence[TraceOp]) -> SimulationResult:
-        """Simulate a trace and return its timing and counters."""
-        machine = self.machine
-        core = machine.core
-        memory = MemorySystem(machine)
-        if machine.prefetch_into_l2:
-            memory.prefetch_regions(trace_memory_footprint(trace))
-
-        pipeline = (
-            MatrixEnginePipeline(self.engine) if self.engine is not None else None
+        self.core = machine.core
+        self.memory = MemorySystem(machine)
+        self.pipeline = (
+            MatrixEnginePipeline(engine, retain_history=retain_pipeline_history)
+            if engine is not None
+            else None
         )
-        ratio = core.engine_clock_ratio
+        self.ratio = machine.core.engine_clock_ratio
 
         # Scoreboards.
-        treg_ready: Dict[int, int] = {}
-        mreg_ready: Dict[int, int] = {}
-        vreg_ready: Dict[int, int] = {}
-        last_compute_writer: Dict[int, int] = {}
-        compute_completion: Dict[int, int] = {}
+        self.treg_ready: Dict[int, int] = {}
+        self.mreg_ready: Dict[int, int] = {}
+        self.vreg_ready: Dict[int, int] = {}
+        self.last_compute_writer: Dict[int, int] = {}
+        self.compute_completion: Dict[int, int] = {}
 
         # Structural resources.
-        rob: Deque[int] = deque()
-        load_buffer: Deque[int] = deque()
-        next_fma_slot = 0.0
+        self.rob: Deque[int] = deque()
+        self.load_buffer: Deque[int] = deque()
+        self.next_fma_slot = 0.0
 
-        issue_cycle = 0
-        issued_this_cycle = 0
-        last_completion = 0
-        engine_ops = 0
-        next_op_id = 0
+        self.issue_cycle = 0
+        self.issued_this_cycle = 0
+        self.last_completion = 0
+        self.engine_ops = 0
+        self.next_compute_id = 0
 
-        def retire_from(buffer: Deque[int], limit: int, cycle: int) -> int:
-            """Drain completed entries; stall ``cycle`` forward if still full."""
+    # -- per-op transition -------------------------------------------------------
+
+    @staticmethod
+    def _retire_from(buffer: Deque[int], limit: int, cycle: int) -> int:
+        """Drain completed entries; stall ``cycle`` forward if still full."""
+        while buffer and buffer[0] <= cycle:
+            buffer.popleft()
+        if len(buffer) >= limit:
+            cycle = buffer.popleft()
             while buffer and buffer[0] <= cycle:
                 buffer.popleft()
-            if len(buffer) >= limit:
-                cycle = buffer.popleft()
-                while buffer and buffer[0] <= cycle:
-                    buffer.popleft()
-            return cycle
+        return cycle
 
-        for op in trace:
-            # Front-end issue bandwidth.
-            if issued_this_cycle >= core.issue_width:
-                issue_cycle += 1
-                issued_this_cycle = 0
-            issue_cycle = retire_from(rob, core.rob_entries, issue_cycle)
-            if op.is_memory:
-                issue_cycle = retire_from(
-                    load_buffer, core.load_buffer_entries, issue_cycle
-                )
-            issued_this_cycle += 1
-            cycle = issue_cycle
+    def step(self, op: TraceOp) -> Tuple[int, int]:
+        """Execute one trace op; returns its (issue cycle, completion cycle)."""
+        core = self.core
+        # Front-end issue bandwidth.
+        if self.issued_this_cycle >= core.issue_width:
+            self.issue_cycle += 1
+            self.issued_this_cycle = 0
+        self.issue_cycle = self._retire_from(self.rob, core.rob_entries, self.issue_cycle)
+        if op.is_memory:
+            self.issue_cycle = self._retire_from(
+                self.load_buffer, core.load_buffer_entries, self.issue_cycle
+            )
+        self.issued_this_cycle += 1
+        cycle = self.issue_cycle
 
-            if op.kind is TraceOpKind.TILE:
-                completion = self._execute_tile(
-                    op,
-                    cycle,
-                    memory,
-                    pipeline,
-                    ratio,
-                    treg_ready,
-                    mreg_ready,
-                    last_compute_writer,
-                    compute_completion,
-                    load_buffer,
-                )
-                if op.tile.opcode.is_compute:
-                    engine_ops += 1
-            elif op.kind is TraceOpKind.VECTOR_LOAD:
-                result = memory.request(op.address, op.nbytes, cycle)
-                completion = result.complete_cycle
-                if op.dst_reg is not None:
-                    vreg_ready[op.dst_reg] = completion
-                load_buffer.append(completion)
-            elif op.kind is TraceOpKind.VECTOR_STORE:
-                ready = max(
-                    [cycle] + [vreg_ready.get(reg, 0) for reg in op.src_regs]
-                )
-                result = memory.request(op.address, op.nbytes, ready, is_store=True)
-                completion = result.complete_cycle
-                load_buffer.append(completion)
-            elif op.kind is TraceOpKind.VECTOR_FMA:
-                ready = max(
-                    [cycle]
-                    + [vreg_ready.get(reg, 0) for reg in op.src_regs]
-                    + ([vreg_ready.get(op.dst_reg, 0)] if op.dst_reg is not None else [])
-                )
-                slot = max(next_fma_slot, float(ready))
-                next_fma_slot = slot + 1.0 / core.vector_fma_per_cycle
-                completion = int(math.ceil(slot)) + core.vector_fma_latency
-                if op.dst_reg is not None:
-                    vreg_ready[op.dst_reg] = completion
-            else:  # SCALAR / BRANCH
-                completion = cycle + core.scalar_latency
+        kind = op.kind
+        if kind is TraceOpKind.TILE:
+            completion = self._execute_tile(op, cycle)
+        elif kind is TraceOpKind.VECTOR_LOAD:
+            result = self.memory.request(op.address, op.nbytes, cycle)
+            completion = result.complete_cycle
+            if op.dst_reg is not None:
+                self.vreg_ready[op.dst_reg] = completion
+            self.load_buffer.append(completion)
+        elif kind is TraceOpKind.VECTOR_STORE:
+            vreg_ready = self.vreg_ready
+            ready = max([cycle] + [vreg_ready.get(reg, 0) for reg in op.src_regs])
+            result = self.memory.request(op.address, op.nbytes, ready, is_store=True)
+            completion = result.complete_cycle
+            self.load_buffer.append(completion)
+        elif kind is TraceOpKind.VECTOR_FMA:
+            vreg_ready = self.vreg_ready
+            ready = max(
+                [cycle]
+                + [vreg_ready.get(reg, 0) for reg in op.src_regs]
+                + ([vreg_ready.get(op.dst_reg, 0)] if op.dst_reg is not None else [])
+            )
+            slot = max(self.next_fma_slot, float(ready))
+            self.next_fma_slot = slot + 1.0 / core.vector_fma_per_cycle
+            completion = int(math.ceil(slot)) + core.vector_fma_latency
+            if op.dst_reg is not None:
+                self.vreg_ready[op.dst_reg] = completion
+        else:  # SCALAR / BRANCH
+            completion = cycle + core.scalar_latency
 
-            rob.append(completion)
-            last_completion = max(last_completion, completion)
-
-        engine_busy = engine_ops * 16
-        engine_makespan = pipeline.makespan if pipeline is not None else 0
-        summary = summarize_trace(trace)
-        core_cycles = max(last_completion, issue_cycle + 1)
-        return SimulationResult(
-            core_cycles=core_cycles,
-            engine_busy_cycles=engine_busy,
-            engine_makespan_cycles=engine_makespan,
-            tile_compute_ops=engine_ops,
-            trace_summary=summary,
-            memory_counters=memory.counters(),
-            machine=machine,
-            engine=self.engine,
-        )
+        self.rob.append(completion)
+        if completion > self.last_completion:
+            self.last_completion = completion
+        return cycle, completion
 
     # -- tile instruction handling -----------------------------------------------------
 
-    def _execute_tile(
-        self,
-        op: TraceOp,
-        cycle: int,
-        memory: MemorySystem,
-        pipeline: Optional[MatrixEnginePipeline],
-        ratio: int,
-        treg_ready: Dict[int, int],
-        mreg_ready: Dict[int, int],
-        last_compute_writer: Dict[int, int],
-        compute_completion: Dict[int, int],
-        load_buffer,
-    ) -> int:
+    def _execute_tile(self, op: TraceOp, cycle: int) -> int:
         instruction = op.tile
         opcode = instruction.opcode
+        treg_ready = self.treg_ready
 
         if opcode.is_load:
-            result = memory.request(
+            result = self.memory.request(
                 instruction.memory.address, instruction.memory.nbytes, cycle
             )
             completion = result.complete_cycle
             if instruction.dst.kind == "mreg":
-                mreg_ready[instruction.dst.index] = completion
+                self.mreg_ready[instruction.dst.index] = completion
             else:
                 for index in instruction.dst.backing_tregs():
                     treg_ready[index] = completion
-                    last_compute_writer.pop(index, None)
-            load_buffer.append(completion)
+                    self.last_compute_writer.pop(index, None)
+            self.load_buffer.append(completion)
             return completion
 
         if opcode.is_store:
@@ -242,17 +250,17 @@ class CycleApproximateSimulator:
             )
             # Wait for an in-flight accumulation into the stored register.
             for index in instruction.src_a.backing_tregs():
-                writer = last_compute_writer.get(index)
+                writer = self.last_compute_writer.get(index)
                 if writer is not None:
-                    ready = max(ready, compute_completion.get(writer, ready))
-            result = memory.request(
+                    ready = max(ready, self.compute_completion.get(writer, ready))
+            result = self.memory.request(
                 instruction.memory.address, instruction.memory.nbytes, ready, is_store=True
             )
-            load_buffer.append(result.complete_cycle)
+            self.load_buffer.append(result.complete_cycle)
             return result.complete_cycle
 
         # Tile compute.
-        if pipeline is None:
+        if self.pipeline is None:
             raise SimulationError(
                 "trace contains tile compute instructions but no engine was configured"
             )
@@ -264,12 +272,12 @@ class CycleApproximateSimulator:
         )
         metadata = instruction.implicit_metadata
         if metadata is not None:
-            operand_ready = max(operand_ready, mreg_ready.get(metadata.index, 0))
+            operand_ready = max(operand_ready, self.mreg_ready.get(metadata.index, 0))
 
         dst_tregs = instruction.dst.backing_tregs()
         accumulator_dep: Optional[int] = None
         for index in dst_tregs:
-            writer = last_compute_writer.get(index)
+            writer = self.last_compute_writer.get(index)
             if writer is not None:
                 accumulator_dep = writer if accumulator_dep is None else max(
                     accumulator_dep, writer
@@ -279,15 +287,17 @@ class CycleApproximateSimulator:
         # Sources produced by still-in-flight compute ops must also be complete
         # (no forwarding path exists for A/B operands).
         for index in source_tregs:
-            writer = last_compute_writer.get(index)
+            writer = self.last_compute_writer.get(index)
             if writer is not None and writer != accumulator_dep:
                 operand_ready = max(
-                    operand_ready, compute_completion.get(writer, operand_ready)
+                    operand_ready, self.compute_completion.get(writer, operand_ready)
                 )
 
+        ratio = self.ratio
         engine_ready = (operand_ready + ratio - 1) // ratio
-        op_id = len(pipeline.completed)
-        timing = pipeline.schedule(
+        op_id = self.next_compute_id
+        self.next_compute_id += 1
+        timing = self.pipeline.schedule(
             TileComputeRequest(
                 op_id=op_id,
                 operands_ready=engine_ready,
@@ -298,6 +308,132 @@ class CycleApproximateSimulator:
         completion = timing.complete * ratio
         for index in dst_tregs:
             treg_ready[index] = completion
-            last_compute_writer[index] = op_id
-        compute_completion[op_id] = completion
+            self.last_compute_writer[index] = op_id
+        self.compute_completion[op_id] = completion
+        self.engine_ops += 1
         return completion
+
+    # -- fast-forward support ------------------------------------------------------
+
+    def shift(self, delta: int, compute_offset: int, engine_delta: int) -> None:
+        """Advance the whole state over ``compute_offset`` skipped computes.
+
+        Every cycle-valued piece of state moves forward by ``delta`` core
+        cycles (``engine_delta`` engine cycles for the pipeline) and every
+        compute op id by ``compute_offset``; the relative state — and hence
+        every future scheduling decision — is untouched, which is what makes
+        skipping proven steady-state blocks exact.
+        """
+        self.issue_cycle += delta
+        self.last_completion += delta
+        self.next_fma_slot += delta
+        for ready in (self.treg_ready, self.mreg_ready, self.vreg_ready):
+            for key in ready:
+                ready[key] += delta
+        live_writers = set(self.last_compute_writer.values())
+        self.last_compute_writer = {
+            reg: op_id + compute_offset
+            for reg, op_id in self.last_compute_writer.items()
+        }
+        # Only completions of live accumulator producers can still be read.
+        self.compute_completion = {
+            op_id + compute_offset: done + delta
+            for op_id, done in self.compute_completion.items()
+            if op_id in live_writers
+        }
+        self.rob = deque(done + delta for done in self.rob)
+        self.load_buffer = deque(done + delta for done in self.load_buffer)
+        self.memory.shift_time(delta)
+        if self.pipeline is not None and compute_offset:
+            self.pipeline.fast_forward(compute_offset, engine_delta, live_writers)
+        self.engine_ops += compute_offset
+        self.next_compute_id += compute_offset
+
+    # -- result assembly -----------------------------------------------------------
+
+    def result(
+        self,
+        summary: TraceSummary,
+        core_cycles: int,
+        extra_counters: Optional[Dict[str, int]] = None,
+    ) -> SimulationResult:
+        """Assemble the :class:`SimulationResult` for the finished simulation."""
+        counters = self.memory.counters()
+        if extra_counters:
+            for key, value in extra_counters.items():
+                counters[key] = counters.get(key, 0) + value
+        return SimulationResult(
+            core_cycles=core_cycles,
+            engine_busy_cycles=self.engine_ops * 16,
+            engine_makespan_cycles=self.pipeline.makespan if self.pipeline else 0,
+            tile_compute_ops=self.engine_ops,
+            trace_summary=summary,
+            memory_counters=counters,
+            machine=self.machine,
+            engine=self.engine,
+        )
+
+
+class CycleApproximateSimulator:
+    """Simulates traces of VEGETA / vector / scalar instructions."""
+
+    def __init__(
+        self,
+        machine: Optional[MachineParams] = None,
+        engine: Optional[EngineConfig] = None,
+        mode: str = "fast",
+    ) -> None:
+        if mode not in SIMULATION_MODES:
+            raise SimulationError(
+                f"unknown simulation mode {mode!r}; expected one of {SIMULATION_MODES}"
+            )
+        self.machine = machine if machine is not None else default_machine()
+        self.engine = engine
+        self.mode = mode
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Sequence[TraceOp],
+        *,
+        mode: Optional[str] = None,
+        block_starts: Optional[Sequence[int]] = None,
+    ) -> SimulationResult:
+        """Simulate a trace and return its timing and counters.
+
+        ``mode`` overrides the simulator's default mode for this run;
+        ``block_starts`` (op indices at which the kernel's repeating
+        output-tile blocks begin, as recorded by the kernel builders in
+        :attr:`repro.kernels.program.KernelProgram.block_starts`) lets the
+        fast path skip steady-state blocks without scanning the trace.
+        """
+        chosen = mode if mode is not None else self.mode
+        if chosen not in SIMULATION_MODES:
+            raise SimulationError(
+                f"unknown simulation mode {chosen!r}; expected one of {SIMULATION_MODES}"
+            )
+        if len(trace) == 0:
+            # Contract: an empty trace takes no time at all.
+            state = SimulatorState(self.machine, self.engine)
+            return state.result(summarize_trace(trace), core_cycles=0)
+        if chosen == "exact":
+            return self._run_exact(trace)
+        from .fastsim import run_fast
+
+        result = run_fast(self.machine, self.engine, trace, block_starts)
+        if result is None:  # no periodic structure worth exploiting
+            return self._run_exact(trace)
+        return result
+
+    # -- exact reference path ----------------------------------------------------
+
+    def _run_exact(self, trace: Sequence[TraceOp]) -> SimulationResult:
+        state = SimulatorState(self.machine, self.engine)
+        if self.machine.prefetch_into_l2:
+            state.memory.prefetch_regions(trace_memory_footprint(trace))
+        step = state.step
+        for op in trace:
+            step(op)
+        core_cycles = max(state.last_completion, state.issue_cycle + 1)
+        return state.result(summarize_trace(trace), core_cycles)

@@ -15,11 +15,17 @@ variable (or per-call with ``cache_root`` / ``--cache-dir``).
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import shutil
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
+
+#: Per-process monotonic counter making concurrent temp files unique: two
+#: threads of one process share a PID, so a PID-only suffix lets their
+#: write-to-temp phases clobber each other mid-write.
+_TEMP_COUNTER = itertools.count()
 
 #: Environment variable overriding the cache root directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -67,10 +73,16 @@ class ResultCache:
         return row if isinstance(row, dict) else None
 
     def put(self, experiment: str, key: str, row: Dict[str, Any]) -> None:
-        """Atomically persist one row (write-to-temp + rename)."""
+        """Atomically persist one row (write-to-temp + rename).
+
+        The temp name combines the PID with a per-call counter so concurrent
+        writers of the same key — other processes *and* other threads of this
+        process — never share a temp file; the final ``os.replace`` stays the
+        single atomic publish step.
+        """
         path = self.path_for(experiment, key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        temp = path.with_suffix(f".{os.getpid()}.tmp")
+        temp = path.with_suffix(f".{os.getpid()}.{next(_TEMP_COUNTER)}.tmp")
         with open(temp, "w", encoding="utf-8") as handle:
             json.dump(row, handle)
         os.replace(temp, path)

@@ -41,7 +41,9 @@ from .registry import register_experiment, trial_runner
 from .results import ResultTable
 from .spec import ExperimentSpec
 
-FIG13_SPEC_VERSION = "1"
+#: v2: untruncated traces by default + steady-state fast-path simulator with
+#: ideal-prefetch L2 semantics (cycle counts changed for big layers).
+FIG13_SPEC_VERSION = "2"
 FIG15_SPEC_VERSION = "1"
 ROOFLINE_SPEC_VERSION = "1"
 AREA_POWER_SPEC_VERSION = "1"
@@ -81,6 +83,12 @@ def figure13_spec(
     max_output_tiles: Optional[int] = DEFAULT_MAX_OUTPUT_TILES,
 ) -> ExperimentSpec:
     """The Figure 13 sweep: layers x patterns x engines."""
+    from ..cpu.params import default_machine
+
+    # Resolve the default machine *now* so the cache key always covers the
+    # actual machine description: with a literal None in the key, editing
+    # default_machine() would keep serving stale cached rows.
+    resolved_machine = machine if machine is not None else default_machine()
     return ExperimentSpec(
         name="fig13",
         version=FIG13_SPEC_VERSION,
@@ -90,7 +98,7 @@ def figure13_spec(
             "engine": list(engine_names),
         },
         fixed={
-            "machine": machine.to_dict() if machine is not None else None,
+            "machine": resolved_machine.to_dict(),
             "max_output_tiles": max_output_tiles,
         },
         columns=(

@@ -11,19 +11,31 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 
 
 def geomean(values: Sequence[float]) -> float:
-    """Geometric mean of a non-empty sequence of positive ratios."""
+    """Geometric mean of a non-empty sequence of positive ratios.
+
+    Computed in log space: the naive running product underflows to 0.0 (or
+    overflows to inf) for a few hundred uniformly small (large) ratios, which
+    long sweeps routinely produce.  Non-positive values have no geometric
+    mean and are rejected explicitly instead of silently collapsing the
+    product to zero.
+    """
     if not values:
         raise ConfigurationError("geometric mean of an empty sequence")
-    product = 1.0
+    total = 0.0
     for value in values:
-        product *= value
-    return product ** (1.0 / len(values))
+        if value <= 0:
+            raise ConfigurationError(
+                f"geometric mean requires positive values, got {value}"
+            )
+        total += math.log(value)
+    return math.exp(total / len(values))
 
 
 class ResultTable:

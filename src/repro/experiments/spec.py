@@ -25,7 +25,12 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 from ..errors import ConfigurationError
 
 #: Bump to invalidate every cached result at once (schema-level changes).
-CACHE_SCHEMA_VERSION = "1"
+#: v2: the simulator's prefetch-into-L2 model became an ideal-prefetch flag
+#: set and empty traces pinned to zero cycles, so every simulated row from
+#: schema v1 is stale.  ``max_output_tiles`` (and every other trial
+#: parameter) is part of each key, so truncated and untruncated runs of the
+#: same sweep address different entries.
+CACHE_SCHEMA_VERSION = "2"
 
 
 def canonical_json(value: Any) -> str:

@@ -158,6 +158,7 @@ def build_dense_gemm_kernel(
         max_output_tiles, total_tiles
     )
     trace: List[TraceOp] = []
+    block_starts: List[int] = []
     emitted = 0
 
     if variant == "optimized":
@@ -186,6 +187,7 @@ def build_dense_gemm_kernel(
                     if (i, j) not in [t[1:] for t in tiles]:
                         tiles.append((slot, i, j))
                 emitted += len(tiles)
+                block_starts.append(len(trace))
                 if include_loop_overhead:
                     trace.extend(
                         scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS)
@@ -247,6 +249,7 @@ def build_dense_gemm_kernel(
             if emitted >= traced_tiles:
                 break
             emitted += 1
+            block_starts.append(len(trace))
             c_address = layouts["c"].tile_address(i, j)
             if include_loop_overhead:
                 trace.extend(scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS))
@@ -274,4 +277,5 @@ def build_dense_gemm_kernel(
         c_layout=layouts["c"],
         simulated_fraction=traced / total_tiles,
         label=f"dense-gemm-{variant}",
+        block_starts=tuple(block_starts),
     )

@@ -47,6 +47,12 @@ class KernelProgram:
         Fraction of the full kernel the trace covers (1.0 unless the builder
         was asked to truncate for tractable simulation); runtimes should be
         scaled by its inverse.
+    block_starts:
+        Op index at which each output-tile block of the trace begins, in
+        order.  The simulator's fast path uses these as periodicity hints to
+        resolve the steady-state loop body in closed form without scanning
+        the trace; ``None`` when the builder has no periodic structure to
+        declare (the simulator then falls back to signature detection).
     """
 
     trace: List[TraceOp]
@@ -58,6 +64,7 @@ class KernelProgram:
     rowwise_patterns: Dict[int, Tuple[SparsityPattern, ...]] = field(default_factory=dict)
     simulated_fraction: float = 1.0
     label: str = ""
+    block_starts: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.simulated_fraction <= 1.0:

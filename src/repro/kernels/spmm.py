@@ -148,6 +148,7 @@ def build_spmm_kernel(
         max_output_tiles, total_tiles
     )
     trace: List[TraceOp] = []
+    block_starts: List[int] = []
     emitted = 0
     block_rows = [
         tuple(dict.fromkeys((i, min(i + 1, grid.tiles_m - 1))))
@@ -158,6 +159,7 @@ def build_spmm_kernel(
             if emitted >= traced_tiles:
                 break
             emitted += len(i_block)
+            block_starts.append(len(trace))
             if include_loop_overhead:
                 trace.extend(scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS))
                 trace.append(branch_op("tile-loop"))
@@ -215,6 +217,7 @@ def build_spmm_kernel(
         c_layout=layouts["c"],
         simulated_fraction=traced / total_tiles,
         label=f"spmm-{pattern.value}",
+        block_starts=tuple(block_starts),
     )
 
 

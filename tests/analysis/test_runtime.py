@@ -85,6 +85,40 @@ class TestBuildLayerKernel:
 
 
 class TestSimulateLayer:
+    def test_untruncated_by_default(self):
+        # The fast-path simulator makes full traces the default: no
+        # truncation, so no extrapolation (simulated_fraction == 1.0).
+        from repro.analysis.runtime import DEFAULT_MAX_OUTPUT_TILES
+
+        assert DEFAULT_MAX_OUTPUT_TILES is None
+        layer = get_layer("ResNet50-L3")
+        runtime = simulate_layer(layer, SparsityPattern.DENSE_4_4, get_engine("VEGETA-D-1-2"))
+        assert runtime.simulated_fraction == 1.0
+        assert runtime.core_cycles_scaled == runtime.result.core_cycles
+
+    def test_simulated_fraction_scaling_round_trip(self):
+        # A truncated run scaled up by 1/simulated_fraction must land close
+        # to the untruncated measurement (the kernels are periodic over
+        # output tiles; only warm-up and drain differ).
+        layer = get_layer("ResNet50-L3")
+        engine = get_engine("VEGETA-D-1-2")
+        full = simulate_layer(layer, SparsityPattern.DENSE_4_4, engine, max_output_tiles=None)
+        truncated = simulate_layer(layer, SparsityPattern.DENSE_4_4, engine, max_output_tiles=8)
+        assert 0 < truncated.simulated_fraction < 1
+        assert truncated.result.core_cycles < full.result.core_cycles
+        assert truncated.core_cycles_scaled == pytest.approx(
+            full.core_cycles_scaled, rel=0.05
+        )
+
+    def test_exact_mode_matches_fast_mode(self):
+        layer = get_layer("ResNet50-L3")
+        engine = get_engine("VEGETA-D-1-2")
+        fast = simulate_layer(layer, SparsityPattern.DENSE_4_4, engine, max_output_tiles=16)
+        exact = simulate_layer(
+            layer, SparsityPattern.DENSE_4_4, engine, max_output_tiles=16, mode="exact"
+        )
+        assert fast.core_cycles_scaled == pytest.approx(exact.core_cycles_scaled, rel=0.01)
+
     def test_scaled_cycles_exceed_simulated(self):
         layer = get_layer("GPT-L1")
         runtime = simulate_layer(

@@ -37,9 +37,10 @@ class TestCache:
         assert not cache.contains(b)
         assert cache.stats.evictions == 1
 
-    def test_warm_installs_without_stats(self):
+    def test_fill_installs_without_lookup_stats(self):
         cache = small_cache()
-        cache.warm([0x0, 0x40])
+        for address in (0x0, 0x40):
+            cache.fill(address)
         assert cache.stats.misses == 0
         assert cache.access(0x0)
 
@@ -94,6 +95,28 @@ class TestHierarchy:
         # Re-access the first line: it must have been evicted from L1 but kept in L2.
         result = hierarchy.access_line(0)
         assert result.level == "L2"
+
+    def test_warm_l2_survives_capacity_pressure(self):
+        # The ideal-prefetch flag is not subject to LRU eviction: a
+        # registered line stays deliverable at L2 latency even after the
+        # whole L2 has been streamed over.
+        hierarchy = self._hierarchy()
+        hierarchy.warm_l2([0x2000])
+        lines = 64 * 1024 // 64
+        for index in range(lines * 2):
+            hierarchy.access_line(0x100000 + index * 64)
+        assert hierarchy.access_line(0x2000).level == "L2"
+
+    def test_warm_l2_covers_smaller_l1_lines(self):
+        # Regression: with l2.line_bytes > l1.line_bytes the prefetch set
+        # used exact address membership, so odd L1 lines of a prefetched
+        # region still paid the DRAM latency.
+        l1 = CacheParams(name="L1", capacity_bytes=4 * 1024, line_bytes=64, hit_latency=4)
+        l2 = CacheParams(name="L2", capacity_bytes=64 * 1024, line_bytes=128, hit_latency=14)
+        hierarchy = CacheHierarchy(l1, l2, dram_latency=200)
+        hierarchy.warm_l2([0])  # one 128-byte L2 line
+        assert hierarchy.access_line(64).level == "L2"
+        assert hierarchy.dram_line_requests == 0
 
     def test_l2_must_be_larger_than_l1(self):
         l1 = CacheParams(name="L1", capacity_bytes=64 * 1024)

@@ -82,3 +82,21 @@ def test_cache_info_and_clear(capsys, cache_dir):
 def test_unknown_experiment_is_an_error(capsys, cache_dir):
     assert main(["run", "no-such-figure", "--cache-dir", cache_dir]) == 2
     assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_bench_writes_payload(tmp_path, capsys):
+    out = tmp_path / "BENCH_simulator.json"
+    assert main(["bench", "--quick", "--out", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "speedup" in captured.out
+    payload = json.loads(out.read_text())
+    assert payload["workloads"], "bench must record at least one workload"
+    row = payload["workloads"][0]
+    assert row["fast_core_cycles"] == pytest.approx(row["exact_core_cycles"], rel=0.01)
+    assert payload["speedup_min"] > 1.0
+    assert payload["fast_ops_per_sec"] > payload["exact_ops_per_sec"]
+
+
+def test_bench_rejects_bad_shape(capsys):
+    assert main(["bench", "--shape", "12x34"]) == 2
+    assert "error" in capsys.readouterr().err

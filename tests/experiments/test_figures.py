@@ -71,10 +71,20 @@ class TestFig13:
             max_output_tiles=1,
         )
         default_spec = figure13_spec(**common)
-        custom_spec = figure13_spec(machine=MachineParams(), **common)
+        explicit_default_spec = figure13_spec(machine=MachineParams(), **common)
         run_experiment(default_spec, cache=cache)
-        table = run_experiment(custom_spec, cache=cache)
-        # Same physical machine, but an explicit machine dict is a distinct key.
+        table = run_experiment(explicit_default_spec, cache=cache)
+        # The default machine is resolved into the key, so spelling it out
+        # explicitly addresses the *same* entry (editing default_machine()
+        # must invalidate, not silently reuse, cached rows).
+        assert table.meta["executed"] == 0 and table.meta["cached"] == 1
+        import dataclasses
+
+        other_machine = MachineParams(
+            core=dataclasses.replace(MachineParams().core, rob_entries=32)
+        )
+        other_spec = figure13_spec(machine=other_machine, **common)
+        table = run_experiment(other_spec, cache=cache)
         assert table.meta["executed"] == 1
 
 

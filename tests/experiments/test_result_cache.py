@@ -37,6 +37,41 @@ class TestResultCache:
         assert cache.clear() == 3
         assert cache.stats()["entries"] == 0
 
+    def test_put_uses_unique_temp_files_per_call(self, tmp_path, monkeypatch):
+        # Regression: the temp name was PID-only, so two threads of one
+        # process writing the same key could clobber each other mid-write.
+        import os as os_module
+
+        cache = ResultCache(tmp_path)
+        seen = []
+        real_replace = os_module.replace
+
+        def recording_replace(src, dst):
+            seen.append(str(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.experiments.cache.os.replace", recording_replace)
+        cache.put("demo", "aa" * 32, {"v": 1})
+        cache.put("demo", "aa" * 32, {"v": 2})
+        assert len(seen) == 2
+        assert seen[0] != seen[1]
+
+    def test_concurrent_puts_of_same_key_are_safe(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = ResultCache(tmp_path)
+        key = "bb" * 32
+
+        def write(value):
+            cache.put("demo", key, {"v": value})
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(write, range(200)))
+        row = cache.get("demo", key)
+        assert row is not None and row["v"] in range(200)
+        # No orphaned temp files left behind.
+        assert not list(tmp_path.rglob("*.tmp"))
+
     def test_stats_breakdown(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put("one", "aa" + "0" * 62, {"v": 1})

@@ -116,6 +116,23 @@ class TestReductions:
         with pytest.raises(ConfigurationError):
             geomean([])
 
+    def test_geomean_long_small_sequence_does_not_underflow(self):
+        # Regression: the naive running product underflowed to 0.0 here.
+        assert geomean([1e-3] * 400) == pytest.approx(1e-3)
+
+    def test_geomean_long_large_sequence_does_not_overflow(self):
+        # Regression: the naive running product overflowed to inf here.
+        assert geomean([1e3] * 400) == pytest.approx(1e3)
+
+    def test_geomean_mixed_magnitudes(self):
+        assert geomean([1e-6, 1e6] * 200) == pytest.approx(1.0)
+
+    def test_geomean_rejects_non_positive_values(self):
+        with pytest.raises(ConfigurationError):
+            geomean([1.0, 0.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            geomean([1.0, -3.0])
+
 
 def test_format_table_renders_all_rows():
     text = format_table("t", ("a", "bb"), [("1", "2"), ("3", "4")])
