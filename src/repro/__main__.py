@@ -78,6 +78,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "--seed", type=int, default=None, help="generator seed for sampled sweeps"
         )
         sub.add_argument(
+            "--smoke",
+            action="store_true",
+            help="restrict the sweep to its smallest smoke configuration "
+            "(currently honored by the spgemm experiment)",
+        )
+        sub.add_argument(
             "--format",
             choices=("table", "json", "csv"),
             default=default_format,
@@ -129,6 +135,8 @@ def _experiment_options(args: argparse.Namespace) -> Dict[str, Any]:
         options["max_output_tiles"] = args.max_output_tiles
     if args.seed is not None:
         options["seed"] = args.seed
+    if getattr(args, "smoke", False):
+        options["smoke"] = True
     return options
 
 

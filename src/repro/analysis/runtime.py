@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.engine import EngineConfig, get_engine, stc_like_engine
 from ..cpu.params import MachineParams, default_machine
+from ..errors import ConfigurationError
 from ..cpu.simulator import CycleApproximateSimulator, SimulationResult
 from ..kernels.gemm import build_dense_gemm_kernel
 from ..kernels.program import KernelProgram
@@ -60,12 +61,26 @@ FIGURE13_ENGINE_NAMES = (
 
 
 def resolve_engine(name: str) -> EngineConfig:
-    """Resolve a Figure 13 engine name, including the STC-like and +OF variants."""
-    if name.upper() == "STC-LIKE":
-        return stc_like_engine()
-    if name.upper().endswith("+OF"):
-        return get_engine(name[: -len("+OF")]).with_output_forwarding(True)
-    return get_engine(name)
+    """Resolve an engine name, including the STC-like base and feature suffixes.
+
+    ``+OF`` enables output forwarding and ``+SPGEMM`` the dual-operand
+    metadata intersection of the sparse x sparse instructions; suffixes may
+    be combined in any order (``VEGETA-S-16-2+OF+SPGEMM``).
+    """
+    base, *suffixes = name.split("+")
+    flags = {suffix.upper() for suffix in suffixes}
+    unknown = flags - {"OF", "SPGEMM"}
+    if unknown:
+        raise ConfigurationError(
+            f"unknown engine feature suffix(es) {sorted(unknown)} in {name!r}; "
+            "supported: +OF, +SPGEMM"
+        )
+    engine = stc_like_engine() if base.upper() == "STC-LIKE" else get_engine(base)
+    if "OF" in flags:
+        engine = engine.with_output_forwarding(True)
+    if "SPGEMM" in flags:
+        engine = engine.with_spgemm(True)
+    return engine
 
 
 def build_layer_kernel(

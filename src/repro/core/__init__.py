@@ -30,6 +30,8 @@ from .isa import (
     tile_load_t,
     tile_load_u,
     tile_load_v,
+    tile_spgemm_u,
+    tile_spgemm_v,
     tile_spmm_r,
     tile_spmm_u,
     tile_spmm_v,
@@ -100,6 +102,8 @@ __all__ = [
     "tile_load_t",
     "tile_load_u",
     "tile_load_v",
+    "tile_spgemm_u",
+    "tile_spgemm_v",
     "tile_spmm_r",
     "tile_spmm_u",
     "tile_spmm_v",

@@ -53,6 +53,13 @@ ALL_NM_PATTERNS: FrozenSet[SparsityPattern] = frozenset(
 #: The only pattern a dense engine can execute natively.
 DENSE_ONLY: FrozenSet[SparsityPattern] = frozenset({SparsityPattern.DENSE_4_4})
 
+#: Metadata block-pair intersections the SpGEMM stream-merge unit resolves
+#: per cycle.  The dual-operand feeder must align A's and B's 2-bit position
+#: streams (the SparseZipper stream-merge idea) before the columns enter the
+#: array, which costs extra Feed-First cycles proportional to the number of
+#: 4-wide blocks covered by the instruction.
+SPGEMM_MERGE_BLOCKS_PER_CYCLE = 4
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -77,6 +84,11 @@ class EngineConfig:
     output_forwarding:
         Whether the engine implements the output-forwarding bypass of
         Section V-C (resolves accumulator dependences early).
+    spgemm:
+        Whether the engine implements the dual-operand metadata intersection
+        needed by the ``TILE_SPGEMM_U/V`` instructions (sparse x sparse).
+        Requires a sparse engine; the intersection adds Feed-First latency
+        (see :meth:`spgemm_feed_overhead`).
     prior_work:
         The prior-work design this configuration models, if any (Table III).
     """
@@ -88,6 +100,7 @@ class EngineConfig:
     total_macs: int = TOTAL_MAC_UNITS
     supported_patterns: FrozenSet[SparsityPattern] = field(default=None)  # type: ignore[assignment]
     output_forwarding: bool = False
+    spgemm: bool = False
     prior_work: str = ""
 
     def __post_init__(self) -> None:
@@ -119,6 +132,10 @@ class EngineConfig:
         if not self.sparse and self.supported_patterns != DENSE_ONLY:
             raise ConfigurationError(
                 "a dense engine cannot claim support for sparse patterns"
+            )
+        if self.spgemm and not self.sparse:
+            raise ConfigurationError(
+                "SpGEMM support requires a sparse engine (metadata muxes)"
             )
 
     # -- structural derivations --------------------------------------------------
@@ -223,6 +240,25 @@ class EngineConfig:
         """
         return 2 * self.nrows + self.reduction_latency
 
+    # -- SpGEMM latency model ------------------------------------------------------
+
+    def spgemm_feed_overhead(self, effective_k: int) -> int:
+        """Extra Feed-First cycles of one SPGEMM instruction.
+
+        The stream-merge unit intersects A's and B's positional metadata one
+        block pair at a time, :data:`SPGEMM_MERGE_BLOCKS_PER_CYCLE` pairs per
+        cycle, before the merged columns can stream into the array.  An
+        instruction covering ``effective_k`` reduction elements spans
+        ``effective_k / 4`` blocks, so the overhead grows with the pattern's
+        compression ratio (4 cycles for 2:4 / K=64, 8 for 1:4 / K=128).
+        """
+        if not self.spgemm:
+            raise ConfigurationError(
+                f"engine {self.name} does not implement SpGEMM stream merging"
+            )
+        blocks = effective_k // BLOCK_SIZE_M
+        return -(-blocks // SPGEMM_MERGE_BLOCKS_PER_CYCLE)
+
     # -- capability queries ----------------------------------------------------------
 
     def supports_pattern(self, pattern: SparsityPattern) -> bool:
@@ -267,6 +303,21 @@ class EngineConfig:
             total_macs=self.total_macs,
             supported_patterns=self.supported_patterns,
             output_forwarding=enabled,
+            spgemm=self.spgemm,
+            prior_work=self.prior_work,
+        )
+
+    def with_spgemm(self, enabled: bool = True) -> "EngineConfig":
+        """A copy of this configuration with SpGEMM stream merging toggled."""
+        return EngineConfig(
+            name=self.name + ("+SPGEMM" if enabled and not self.spgemm else ""),
+            sparse=self.sparse,
+            alpha=self.alpha,
+            beta=self.beta,
+            total_macs=self.total_macs,
+            supported_patterns=self.supported_patterns,
+            output_forwarding=self.output_forwarding,
+            spgemm=enabled,
             prior_work=self.prior_work,
         )
 

@@ -126,6 +126,12 @@ class FunctionalMachine:
         elif opcode is Opcode.TILE_SPMM_R:
             macs = self._execute_spmm_rowwise(instruction)
             self.stats.record(instruction, macs)
+        elif opcode is Opcode.TILE_SPGEMM_U:
+            macs = self._execute_spgemm(instruction, SparsityPattern.SPARSE_2_4)
+            self.stats.record(instruction, macs)
+        elif opcode is Opcode.TILE_SPGEMM_V:
+            macs = self._execute_spgemm(instruction, SparsityPattern.SPARSE_1_4)
+            self.stats.record(instruction, macs)
         else:  # pragma: no cover - unreachable with a closed opcode set
             raise ExecutionError(f"unsupported opcode {opcode!r}")
 
@@ -204,6 +210,31 @@ class FunctionalMachine:
         self._write_accumulator(instruction.dst, c + update.astype(np.float32))
         # Effectual MACs: one per stored non-zero per output column.
         return TILE_ROWS * TILE_BF16_COLS * TILE_FP32_COLS
+
+    # -- SpGEMM (sparse x sparse) --------------------------------------------------------
+
+    def _execute_spgemm(
+        self, instruction: Instruction, pattern: SparsityPattern
+    ) -> int:
+        """Execute ``TILE_SPGEMM_U/V``: both operands N:4 compressed.
+
+        A is expanded exactly as for SPMM; B — stored transposed, each
+        register row holding one logical B column compressed along K — is
+        expanded with the same decompression using the mreg of the B treg.
+        The hardware intersects the two metadata streams instead of
+        expanding, but the arithmetic is identical.
+        """
+        effective_a = self._expand_sparse_a(instruction.src_a, pattern)
+        effective_b_t = self._expand_sparse_a(instruction.src_b, pattern)
+        c = self._read_accumulator(instruction.dst, TILE_ROWS)
+        update = effective_a @ effective_b_t.T
+        self._write_accumulator(instruction.dst, c + update.astype(np.float32))
+        # Effectual MACs: one per (A non-zero, B non-zero) pair sharing a K
+        # position — what survives the metadata intersection.
+        return int(
+            ((effective_a != 0.0).astype(np.int64)
+             @ (effective_b_t != 0.0).astype(np.int64).T).sum()
+        )
 
     # -- row-wise SPMM -------------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""The VEGETA instruction set (Table II of the paper).
+"""The VEGETA instruction set (Table II of the paper), plus SpGEMM extensions.
 
 Nine instructions are defined on top of the tile / metadata register file:
 
@@ -14,10 +14,24 @@ Nine instructions are defined on top of the tile / metadata register file:
 ``TILE_SPMM_R``           C(ureg) += A(treg, row-wise N:4) x B(ureg, 64x16)
 ========================  ===========================================================
 
+Two SpGEMM (sparse x sparse) extensions follow the SparseZipper idea of
+reusing the tile-register substrate for a compressed *B* operand as well.
+``B`` is compressed column-block-wise: each logical column of B is compressed
+along K with the same N:4 scheme used for A rows, which — because B is stored
+transposed — makes its register image identical in shape to a compressed A
+tile (1 KB of values plus 128 B of metadata):
+
+========================  ===========================================================
+``TILE_SPGEMM_U``         C(treg) += A(treg, 2:4 sparse) x B(treg, column 2:4), K=64
+``TILE_SPGEMM_V``         C(treg) += A(treg, 1:4 sparse) x B(treg, column 1:4), K=128
+========================  ===========================================================
+
 The paper's Listing 1 does not name the metadata register as an explicit
 operand of the SPMM instructions; a sparse tile in ``treg i`` is implicitly
 paired with ``mreg i``.  We follow that convention: the :class:`Instruction`
 records the implicit metadata register so dependence tracking still sees it.
+The SPGEMM instructions carry *two* implicit metadata registers, one per
+compressed operand (``mreg src_a`` and ``mreg src_b``).
 """
 
 from __future__ import annotations
@@ -43,6 +57,8 @@ class Opcode(enum.Enum):
     TILE_SPMM_U = "TILE_SPMM_U"
     TILE_SPMM_V = "TILE_SPMM_V"
     TILE_SPMM_R = "TILE_SPMM_R"
+    TILE_SPGEMM_U = "TILE_SPGEMM_U"
+    TILE_SPGEMM_V = "TILE_SPGEMM_V"
 
     @property
     def is_load(self) -> bool:
@@ -61,8 +77,18 @@ class Opcode(enum.Enum):
 
     @property
     def is_sparse_compute(self) -> bool:
-        """True for the SPMM (sparse A) instructions."""
+        """True for the SPMM / SPGEMM (sparse A) instructions."""
         return self in _SPARSE_COMPUTE_OPCODES
+
+    @property
+    def is_spgemm(self) -> bool:
+        """True for the sparse x sparse (dual compressed operand) instructions."""
+        return self in _SPGEMM_OPCODES
+
+    @property
+    def spgemm_effective_k(self) -> int:
+        """Effective K covered by one SPGEMM instruction (0 for other opcodes)."""
+        return _SPGEMM_EFFECTIVE_K.get(self, 0)
 
     @property
     def memory_bytes(self) -> int:
@@ -75,12 +101,15 @@ class Opcode(enum.Enum):
 _LOAD_OPCODES = frozenset(
     {Opcode.TILE_LOAD_T, Opcode.TILE_LOAD_U, Opcode.TILE_LOAD_V, Opcode.TILE_LOAD_M}
 )
+_SPGEMM_OPCODES = frozenset({Opcode.TILE_SPGEMM_U, Opcode.TILE_SPGEMM_V})
 _COMPUTE_OPCODES = frozenset(
     {Opcode.TILE_GEMM, Opcode.TILE_SPMM_U, Opcode.TILE_SPMM_V, Opcode.TILE_SPMM_R}
-)
+) | _SPGEMM_OPCODES
 _SPARSE_COMPUTE_OPCODES = frozenset(
     {Opcode.TILE_SPMM_U, Opcode.TILE_SPMM_V, Opcode.TILE_SPMM_R}
-)
+) | _SPGEMM_OPCODES
+#: Effective K (uncompressed reduction width) of one SPGEMM instruction.
+_SPGEMM_EFFECTIVE_K = {Opcode.TILE_SPGEMM_U: 64, Opcode.TILE_SPGEMM_V: 128}
 _MEMORY_BYTES = {
     Opcode.TILE_LOAD_T: TILE_REG_BYTES,
     Opcode.TILE_LOAD_U: 2 * TILE_REG_BYTES,
@@ -122,6 +151,8 @@ _COMPUTE_SIGNATURES: Dict[Opcode, Tuple[str, str, str]] = {
     Opcode.TILE_SPMM_U: ("treg", "treg", "ureg"),
     Opcode.TILE_SPMM_V: ("treg", "treg", "vreg"),
     Opcode.TILE_SPMM_R: ("ureg", "treg", "ureg"),
+    Opcode.TILE_SPGEMM_U: ("treg", "treg", "treg"),
+    Opcode.TILE_SPGEMM_V: ("treg", "treg", "treg"),
 }
 
 #: Expected destination register kind for each load opcode.
@@ -211,6 +242,18 @@ class Instruction:
             return mreg(self.src_a.index)
         return None
 
+    @property
+    def implicit_metadata_b(self) -> Optional[RegisterRef]:
+        """The mreg implicitly read for the compressed B operand of SPGEMM.
+
+        SPGEMM instructions pair *both* compressed operands with the mreg of
+        the same index: A in ``treg i`` with ``mreg i`` and B in ``treg j``
+        with ``mreg j``.
+        """
+        if self.opcode.is_spgemm and self.src_b is not None:
+            return mreg(self.src_b.index)
+        return None
+
     def reads(self) -> Tuple[RegisterRef, ...]:
         """Registers read by this instruction (including the accumulator)."""
         if self.opcode.is_load:
@@ -218,9 +261,9 @@ class Instruction:
         if self.opcode.is_store:
             return (self.src_a,)
         sources = [self.dst, self.src_a, self.src_b]
-        metadata = self.implicit_metadata
-        if metadata is not None:
-            sources.append(metadata)
+        for metadata in (self.implicit_metadata, self.implicit_metadata_b):
+            if metadata is not None:
+                sources.append(metadata)
         return tuple(sources)
 
     def writes(self) -> Tuple[RegisterRef, ...]:
@@ -333,3 +376,13 @@ def tile_spmm_v(dst: RegisterRef, a: RegisterRef, b: RegisterRef, label: str = "
 def tile_spmm_r(dst: RegisterRef, a: RegisterRef, b: RegisterRef, label: str = "") -> Instruction:
     """Build a row-wise ``TILE_SPMM_R`` C += A x B."""
     return Instruction(Opcode.TILE_SPMM_R, dst=dst, src_a=a, src_b=b, label=label)
+
+
+def tile_spgemm_u(dst: RegisterRef, a: RegisterRef, b: RegisterRef, label: str = "") -> Instruction:
+    """Build a 2:4 x 2:4 ``TILE_SPGEMM_U`` C += A x B (effective K = 64)."""
+    return Instruction(Opcode.TILE_SPGEMM_U, dst=dst, src_a=a, src_b=b, label=label)
+
+
+def tile_spgemm_v(dst: RegisterRef, a: RegisterRef, b: RegisterRef, label: str = "") -> Instruction:
+    """Build a 1:4 x 1:4 ``TILE_SPGEMM_V`` C += A x B (effective K = 128)."""
+    return Instruction(Opcode.TILE_SPGEMM_V, dst=dst, src_a=a, src_b=b, label=label)

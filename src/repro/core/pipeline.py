@@ -43,11 +43,15 @@ class TileComputeRequest:
     ``operands_ready`` is the cycle at which the A/B source registers hold
     valid data (produced by the load pipeline); ``accumulator_dep`` is the
     ``op_id`` of the previous compute writing the same C register, if any.
+    ``feed_overhead`` extends the Feed-First stage by a constant number of
+    cycles — the SpGEMM instructions use it for the dual-operand metadata
+    intersection (:meth:`repro.core.engine.EngineConfig.spgemm_feed_overhead`).
     """
 
     op_id: int
     operands_ready: int = 0
     accumulator_dep: Optional[int] = None
+    feed_overhead: int = 0
     label: str = ""
 
 
@@ -110,7 +114,7 @@ class MatrixEnginePipeline:
             raise SimulationError(f"duplicate op_id {request.op_id}")
 
         wl_latency = engine.weight_load_latency
-        ff_latency = engine.feed_first_latency
+        ff_latency = engine.feed_first_latency + request.feed_overhead
         fs_latency = engine.feed_second_latency
         dr_latency = engine.drain_latency
 

@@ -270,9 +270,17 @@ class SimulatorState:
         operand_ready = max(
             [cycle] + [treg_ready.get(index, 0) for index in source_tregs]
         )
-        metadata = instruction.implicit_metadata
-        if metadata is not None:
-            operand_ready = max(operand_ready, self.mreg_ready.get(metadata.index, 0))
+        for metadata in (instruction.implicit_metadata, instruction.implicit_metadata_b):
+            if metadata is not None:
+                operand_ready = max(operand_ready, self.mreg_ready.get(metadata.index, 0))
+        feed_overhead = 0
+        if opcode.is_spgemm:
+            if not (self.engine.sparse and self.engine.spgemm):
+                raise SimulationError(
+                    f"engine {self.engine.name} cannot execute {opcode.value}: "
+                    "SpGEMM stream merging is not enabled on this configuration"
+                )
+            feed_overhead = self.engine.spgemm_feed_overhead(opcode.spgemm_effective_k)
 
         dst_tregs = instruction.dst.backing_tregs()
         accumulator_dep: Optional[int] = None
@@ -302,6 +310,7 @@ class SimulatorState:
                 op_id=op_id,
                 operands_ready=engine_ready,
                 accumulator_dep=accumulator_dep,
+                feed_overhead=feed_overhead,
                 label=op.label,
             )
         )

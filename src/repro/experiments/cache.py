@@ -63,14 +63,41 @@ class ResultCache:
         return self.root / experiment / key[:2] / f"{key}.json"
 
     def get(self, experiment: str, key: str) -> Optional[Dict[str, Any]]:
-        """The cached row for a key, or None on miss or corruption."""
+        """The cached row for a key, or None on miss or corruption.
+
+        A corrupt or truncated entry (invalid JSON, or JSON that is not an
+        object) is unlinked best-effort before reporting the miss: left on
+        disk it would be re-read and re-parsed on every future run without
+        ever being overwritten, because :meth:`put` only runs after a miss
+        whose result the next ``get`` would again fail to read.
+        """
         path = self.path_for(experiment, key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 row = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
             return None
-        return row if isinstance(row, dict) else None
+        except ValueError:
+            self._discard(path)
+            return None
+        if not isinstance(row, dict):
+            self._discard(path)
+            return None
+        return row
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        """Best-effort removal of a poisoned cache entry.
+
+        Racy by design: a concurrent process may have already replaced the
+        corrupt file with a fresh valid row, in which case this unlink drops
+        that row and the trial is simply recomputed on the next run — wasted
+        work, never corruption, and cheaper than cross-process locking.
+        """
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, experiment: str, key: str, row: Dict[str, Any]) -> None:
         """Atomically persist one row (write-to-temp + rename).

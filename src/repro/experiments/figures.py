@@ -36,7 +36,11 @@ from ..errors import ConfigurationError
 from ..types import GemmShape, SparsityPattern
 from ..workloads.generator import generate_unstructured, scaled_problem
 from ..workloads.layers import WorkloadLayer, all_layers, get_layer
-from ..workloads.sweeps import FIGURE13_PATTERNS, FIGURE15_SPARSITY_DEGREES
+from ..workloads.sweeps import (
+    FIGURE13_PATTERNS,
+    FIGURE15_SPARSITY_DEGREES,
+    SPGEMM_SWEEP_PATTERNS,
+)
 from .registry import register_experiment, trial_runner
 from .results import ResultTable
 from .spec import ExperimentSpec
@@ -47,6 +51,10 @@ FIG13_SPEC_VERSION = "2"
 FIG15_SPEC_VERSION = "1"
 ROOFLINE_SPEC_VERSION = "1"
 AREA_POWER_SPEC_VERSION = "1"
+#: v1: initial sparse x sparse sweep (TILE_SPGEMM_U/V, stream-merge feed
+#: latency model).  Bump whenever the SpGEMM kernel encoding, the engine's
+#: intersection latency model, or the validation semantics change.
+SPGEMM_SPEC_VERSION = "1"
 
 #: Headline comparison of the abstract (RASA-DM vs best VEGETA-S design).
 HEADLINE_BASELINE = "VEGETA-D-1-2"
@@ -312,6 +320,208 @@ def run_area_power_trial(params: Dict[str, Any]) -> Dict[str, Any]:
 )
 def build_area_power(options: Dict[str, Any]) -> ExperimentSpec:
     return figure14_spec()
+
+
+# -- SpGEMM: sparse x sparse tile kernels vs dense / sparse x dense ----------
+
+#: Engine running the SpGEMM sweep: the best VEGETA-S design with output
+#: forwarding plus the dual-operand stream-merge unit.
+SPGEMM_ENGINE = "VEGETA-S-16-2+OF+SPGEMM"
+
+#: (m, n, k, validate) points of the SpGEMM sweep.  The validated shapes run
+#: the exact simulator and the functional model against the scipy/numpy
+#: sparse reference product on every trial; the large shape exercises the
+#: fast path's steady-state skip at scale.
+SPGEMM_SWEEP_SHAPES = (
+    (64, 64, 256, True),
+    (128, 128, 512, True),
+    (512, 512, 2048, False),
+)
+
+#: The shapes the ``--smoke`` CLI flag restricts the sweep to.
+SPGEMM_SMOKE_SHAPES = ((64, 64, 256, True),)
+
+
+def spgemm_spec(
+    *,
+    shapes: Sequence[Sequence[Any]] = SPGEMM_SWEEP_SHAPES,
+    patterns: Sequence[SparsityPattern] = SPGEMM_SWEEP_PATTERNS,
+    engine_name: str = SPGEMM_ENGINE,
+    machine: Optional[MachineParams] = None,
+    seed: int = 0,
+    max_output_tiles: Optional[int] = None,
+) -> ExperimentSpec:
+    """The SpGEMM sweep: shapes x A patterns x B patterns."""
+    from ..cpu.params import default_machine
+
+    resolved_machine = machine if machine is not None else default_machine()
+    return ExperimentSpec(
+        name="spgemm",
+        version=SPGEMM_SPEC_VERSION,
+        axes={
+            "shape": [
+                {"m": int(m), "n": int(n), "k": int(k), "validate": bool(validate)}
+                for m, n, k, validate in shapes
+            ],
+            "pattern_a": [pattern.value for pattern in patterns],
+            "pattern_b": [pattern.value for pattern in patterns],
+        },
+        fixed={
+            "engine": engine_name,
+            "machine": resolved_machine.to_dict(),
+            "seed": seed,
+            "max_output_tiles": max_output_tiles,
+        },
+        columns=(
+            "m",
+            "n",
+            "k",
+            "pattern_a",
+            "pattern_b",
+            "joint_pattern",
+            "engine",
+            "spgemm_cycles",
+            "dense_cycles",
+            "spmm_cycles",
+            "speedup_vs_dense",
+            "speedup_vs_spmm",
+            "spgemm_traffic_bytes",
+            "spmm_traffic_bytes",
+            "traffic_vs_spmm",
+            "simulated_fraction",
+            "validated",
+            "exact_cycles",
+            "exact_match",
+            "functional_match",
+            "max_abs_error",
+        ),
+    )
+
+
+@trial_runner("spgemm")
+def run_spgemm_trial(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Simulate one (shape, A pattern, B pattern) point of the SpGEMM sweep.
+
+    Every trial reports the fast-path cycle count of the SpGEMM kernel plus
+    the dense ``TILE_GEMM`` and sparse x dense ``TILE_SPMM`` baselines on the
+    same engine.  Validated shapes additionally (a) re-run the SpGEMM trace
+    through the exact event-driven simulator and record whether the cycle
+    counts match bit-for-bit, and (b) execute the kernel functionally and
+    compare the C matrix with a ``scipy.sparse``/NumPy reference product.
+
+    ``max_output_tiles`` truncates all three kernels; their block
+    granularities differ (the dense kernel interleaves 2x2 output-tile
+    blocks, the sparse kernels 2x1), so each kernel's cycles and traffic are
+    scaled by its *own* covered fraction before the speedup/traffic ratios
+    are formed.  Functional validation needs the full C matrix, so it only
+    runs on untruncated traces — the exact-vs-fast check (on the raw
+    truncated cycle counts) still runs.
+    """
+    from ..cpu.simulator import CycleApproximateSimulator
+    from ..kernels.gemm import build_dense_gemm_kernel
+    from ..kernels.spgemm import build_spgemm_kernel, spgemm_joint_pattern
+    from ..kernels.spmm import build_spmm_kernel
+    from ..kernels.validate import validate_spgemm_kernel
+    from ..workloads.generator import generate_dual_sparse
+
+    shape_params = params["shape"]
+    shape = GemmShape(
+        m=shape_params["m"], n=shape_params["n"], k=shape_params["k"]
+    )
+    validate = bool(shape_params["validate"])
+    pattern_a = SparsityPattern(params["pattern_a"])
+    pattern_b = SparsityPattern(params["pattern_b"])
+    joint = spgemm_joint_pattern(pattern_a, pattern_b)
+    engine = resolve_engine(params["engine"])
+    machine = MachineParams.from_dict(params["machine"])
+    max_output_tiles = params.get("max_output_tiles")
+    simulator = CycleApproximateSimulator(machine=machine, engine=engine)
+
+    operands = (
+        generate_dual_sparse(shape, pattern_a, pattern_b, seed=params["seed"])
+        if validate
+        else None
+    )
+    program = build_spgemm_kernel(
+        shape,
+        joint,
+        a=operands.a if operands is not None else None,
+        b=operands.b if operands is not None else None,
+        max_output_tiles=max_output_tiles,
+    )
+    fast = simulator.run(program.trace, block_starts=program.block_starts)
+
+    dense_program = build_dense_gemm_kernel(shape, max_output_tiles=max_output_tiles)
+    dense = simulator.run(
+        dense_program.trace, block_starts=dense_program.block_starts
+    )
+    # Sparse x dense baseline: the engine exploits A's pattern, streams B dense.
+    spmm_program = build_spmm_kernel(
+        shape, engine.executable_pattern(pattern_a), max_output_tiles=max_output_tiles
+    )
+    spmm = simulator.run(spmm_program.trace, block_starts=spmm_program.block_starts)
+
+    # Per-kernel coverage-scaled values: the builders truncate at different
+    # block granularities, so ratios must compare whole-problem estimates.
+    spgemm_scaled = fast.core_cycles / program.simulated_fraction
+    dense_scaled = dense.core_cycles / dense_program.simulated_fraction
+    spmm_scaled = spmm.core_cycles / spmm_program.simulated_fraction
+    spgemm_traffic = (
+        fast.trace_summary.memory_bytes / program.simulated_fraction
+    )
+    spmm_traffic = (
+        spmm.trace_summary.memory_bytes / spmm_program.simulated_fraction
+    )
+    row: Dict[str, Any] = {
+        "m": shape.m,
+        "n": shape.n,
+        "k": shape.k,
+        "pattern_a": pattern_a.value,
+        "pattern_b": pattern_b.value,
+        "joint_pattern": joint.value,
+        "engine": engine.name,
+        "spgemm_cycles": fast.core_cycles,
+        "dense_cycles": dense.core_cycles,
+        "spmm_cycles": spmm.core_cycles,
+        "speedup_vs_dense": dense_scaled / spgemm_scaled,
+        "speedup_vs_spmm": spmm_scaled / spgemm_scaled,
+        # With the evaluation's ideal-prefetch L2 the SpGEMM path pays the
+        # stream-merge feed latency; its structural win over sparse x dense
+        # is the compressed B operand, visible as trace memory traffic.
+        "spgemm_traffic_bytes": fast.trace_summary.memory_bytes,
+        "spmm_traffic_bytes": spmm.trace_summary.memory_bytes,
+        "traffic_vs_spmm": spgemm_traffic / spmm_traffic,
+        "simulated_fraction": program.simulated_fraction,
+        "validated": validate,
+        "exact_cycles": None,
+        "exact_match": None,
+        "functional_match": None,
+        "max_abs_error": None,
+    }
+    if validate:
+        exact = simulator.run(program.trace, mode="exact")
+        row.update(
+            exact_cycles=exact.core_cycles,
+            exact_match=fast.core_cycles == exact.core_cycles,
+        )
+        if program.simulated_fraction == 1.0:
+            matches, error = validate_spgemm_kernel(program, operands.a, operands.b)
+            row.update(functional_match=matches, max_abs_error=error)
+    return row
+
+
+@register_experiment(
+    "spgemm",
+    "SpGEMM: sparse x sparse tile kernels vs the dense and sparse x dense paths",
+)
+def build_spgemm(options: Dict[str, Any]) -> ExperimentSpec:
+    shapes = SPGEMM_SMOKE_SHAPES if options.get("smoke") else SPGEMM_SWEEP_SHAPES
+    return spgemm_spec(
+        shapes=options.get("shapes", shapes),
+        engine_name=options.get("engine", SPGEMM_ENGINE),
+        seed=options.get("seed", 0),
+        max_output_tiles=options.get("max_output_tiles"),
+    )
 
 
 # -- Headline: the abstract's speed-up summary -------------------------------

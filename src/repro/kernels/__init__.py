@@ -6,6 +6,7 @@ Sub-modules:
 * :mod:`repro.kernels.program` — the :class:`KernelProgram` container,
 * :mod:`repro.kernels.gemm` — dense ``TILE_GEMM`` kernels (Listing 1 and optimised),
 * :mod:`repro.kernels.spmm` — 2:4 / 1:4 / row-wise SPMM kernels,
+* :mod:`repro.kernels.spgemm` — sparse x sparse ``TILE_SPGEMM`` kernels,
 * :mod:`repro.kernels.vector` — the SIMD baseline kernel of Figure 4,
 * :mod:`repro.kernels.im2col` — convolution-to-GEMM lowering,
 * :mod:`repro.kernels.validate` — functional validation against numpy.
@@ -14,26 +15,38 @@ Sub-modules:
 from .gemm import build_dense_gemm_kernel
 from .im2col import ConvShape, direct_convolution, im2col, weights_to_matrix
 from .program import KernelProgram
+from .spgemm import SPGEMM_PATTERNS, build_spgemm_kernel, spgemm_joint_pattern
 from .spmm import build_rowwise_spmm_kernel, build_spmm_kernel
 from .tiling import MatrixTileLayout, TileGrid, tile_k_for_pattern
-from .validate import reference_gemm, run_functional, validate_kernel
+from .validate import (
+    reference_gemm,
+    reference_spgemm,
+    run_functional,
+    validate_kernel,
+    validate_spgemm_kernel,
+)
 from .vector import build_vector_gemm_kernel, vector_instruction_estimate
 
 __all__ = [
     "ConvShape",
     "KernelProgram",
     "MatrixTileLayout",
+    "SPGEMM_PATTERNS",
     "TileGrid",
     "build_dense_gemm_kernel",
     "build_rowwise_spmm_kernel",
+    "build_spgemm_kernel",
     "build_spmm_kernel",
     "build_vector_gemm_kernel",
     "direct_convolution",
     "im2col",
     "reference_gemm",
+    "reference_spgemm",
     "run_functional",
+    "spgemm_joint_pattern",
     "tile_k_for_pattern",
     "validate_kernel",
+    "validate_spgemm_kernel",
     "vector_instruction_estimate",
     "weights_to_matrix",
 ]

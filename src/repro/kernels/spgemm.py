@@ -1,0 +1,326 @@
+"""Structured sparse x sparse GEMM kernels (``TILE_SPGEMM_U/V``).
+
+SpGEMM — both operands sparse — dominates graph analytics and shows up in
+pruned-transformer inference whenever activations are sparsified too.
+SparseZipper ("Enhancing Matrix Extensions to Accelerate SpGEMM on CPUs")
+observes that a tile-register ISA like VEGETA's extends naturally to this
+case; :func:`build_spgemm_kernel` realises that extension on our substrate:
+
+* **A** is compressed exactly as for SPMM: a 1 KB value image per tile plus a
+  128-byte metadata image, rows compressed N:4 along K;
+* **B** is compressed *column-block-wise*: every logical column of B is
+  compressed along K with the same N:4 scheme.  Because B tiles are stored
+  transposed (column ``j`` of B in register row ``j``), the compressed B tile
+  has exactly the shape of a compressed A tile — 1 KB of values plus 128 B of
+  metadata — instead of the 2 KB / 4 KB dense ureg/vreg images the SPMM
+  kernels stream;
+* one ``TILE_SPGEMM_U`` covers an effective K of 64 (2:4 x 2:4) and one
+  ``TILE_SPGEMM_V`` an effective K of 128 (1:4 x 1:4), matching the SPMM
+  instructions' K coverage while halving / quartering the B bytes loaded.
+
+Both operands must satisfy a *common* N:4 pattern; :func:`spgemm_joint_pattern`
+derives the loosest pattern a (pattern_a, pattern_b) pair supports, which is
+what the sparsity x sparsity sweep of the ``spgemm`` experiment executes.
+
+The engine models the dual-operand metadata intersection as extra Feed-First
+latency (:meth:`repro.core.engine.EngineConfig.spgemm_feed_overhead`), so the
+per-instruction cost is slightly higher than SPMM — the win comes from the
+smaller B footprint and fewer bytes through the cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core import isa
+from ..core.memory_image import ByteMemory
+from ..core.registers import mreg, treg
+from ..cpu.trace import TraceOp, branch_op, scalar_op, tile_op
+from ..errors import KernelError
+from ..sparse.blocks import satisfies_pattern
+from ..sparse.compress import compress
+from ..types import DType, GemmShape, SparsityPattern
+from .gemm import K_LOOP_SCALARS, TILE_LOOP_SCALARS
+from .program import KernelProgram
+from .tiling import (
+    MatrixTileLayout,
+    TILE_M,
+    TILE_N,
+    TileGrid,
+    align_up,
+    interleaved_block_rows,
+)
+
+#: Patterns the SPGEMM instructions support as the joint operand pattern.
+SPGEMM_PATTERNS = (SparsityPattern.SPARSE_2_4, SparsityPattern.SPARSE_1_4)
+
+
+def spgemm_joint_pattern(
+    pattern_a: SparsityPattern, pattern_b: SparsityPattern
+) -> SparsityPattern:
+    """The loosest N:4 pattern both operands of a SpGEMM satisfy.
+
+    A 1:4 operand trivially satisfies 2:4, so a (1:4, 2:4) pair executes with
+    ``TILE_SPGEMM_U``.  Dense (4:4) operands have no SPGEMM instruction —
+    use the dense GEMM / SPMM kernels for those — and row-wise operands are
+    not supported.
+    """
+    for pattern in (pattern_a, pattern_b):
+        if pattern not in (
+            SparsityPattern.SPARSE_2_4,
+            SparsityPattern.SPARSE_1_4,
+            SparsityPattern.DENSE_4_4,
+        ):
+            raise KernelError(
+                f"SpGEMM kernels support fixed N:4 operands, got {pattern.value}"
+            )
+    joint_n = max(pattern_a.n, pattern_b.n)
+    joint = SparsityPattern.from_n(joint_n)
+    if joint not in SPGEMM_PATTERNS:
+        raise KernelError(
+            f"no SPGEMM instruction for a {pattern_a.value} x {pattern_b.value} "
+            "product; a dense operand needs the TILE_GEMM / TILE_SPMM kernels"
+        )
+    return joint
+
+
+def _plan_spgemm_layouts(grid: TileGrid) -> dict:
+    """Non-overlapping regions for A/B values, A/B metadata and C tiles.
+
+    Unlike the SPMM planner, *both* operands are 1 KB compressed tiles with a
+    128-byte metadata image each.
+    """
+    base = 0x10000
+    a_layout = MatrixTileLayout(
+        base_address=base,
+        tiles_rows=grid.tiles_m,
+        tiles_cols=grid.tiles_k,
+        tile_bytes=1024,
+        name="A",
+    )
+    a_metadata = MatrixTileLayout(
+        base_address=align_up(a_layout.end_address),
+        tiles_rows=grid.tiles_m,
+        tiles_cols=grid.tiles_k,
+        tile_bytes=128,
+        name="A-metadata",
+    )
+    b_layout = MatrixTileLayout(
+        base_address=align_up(a_metadata.end_address),
+        tiles_rows=grid.tiles_n,
+        tiles_cols=grid.tiles_k,
+        tile_bytes=1024,
+        name="B^T",
+    )
+    b_metadata = MatrixTileLayout(
+        base_address=align_up(b_layout.end_address),
+        tiles_rows=grid.tiles_n,
+        tiles_cols=grid.tiles_k,
+        tile_bytes=128,
+        name="B-metadata",
+    )
+    c_layout = MatrixTileLayout(
+        base_address=align_up(b_metadata.end_address),
+        tiles_rows=grid.tiles_m,
+        tiles_cols=grid.tiles_n,
+        tile_bytes=1024,
+        name="C",
+    )
+    return {
+        "a": a_layout,
+        "a_metadata": a_metadata,
+        "b": b_layout,
+        "b_metadata": b_metadata,
+        "c": c_layout,
+    }
+
+
+def _fill_dual_sparse_operands(
+    memory: ByteMemory,
+    grid: TileGrid,
+    layouts: dict,
+    a: np.ndarray,
+    b: np.ndarray,
+) -> None:
+    """Write compressed A tiles and column-block-compressed B tiles."""
+    padded = grid.padded_shape
+    pattern = grid.pattern
+    a_padded = np.zeros((padded.m, padded.k), dtype=np.float32)
+    a_padded[: a.shape[0], : a.shape[1]] = a
+    b_padded = np.zeros((padded.k, padded.n), dtype=np.float32)
+    b_padded[: b.shape[0], : b.shape[1]] = b
+    tile_k = grid.tile_k
+    for i in range(grid.tiles_m):
+        for k in range(grid.tiles_k):
+            tile = a_padded[
+                i * TILE_M : (i + 1) * TILE_M, k * tile_k : (k + 1) * tile_k
+            ]
+            compressed = compress(tile, pattern)
+            memory.write_matrix(
+                layouts["a"].tile_address(i, k), compressed.values, DType.BF16
+            )
+            memory.write(
+                layouts["a_metadata"].tile_address(i, k), compressed.metadata_bytes()
+            )
+    for j in range(grid.tiles_n):
+        for k in range(grid.tiles_k):
+            # Transposed B tile: register row j holds logical column j of B
+            # along K, so compressing its rows N:4 compresses B's columns
+            # block-wise along K — the SPGEMM operand encoding.
+            tile_t = b_padded[
+                k * tile_k : (k + 1) * tile_k, j * TILE_N : (j + 1) * TILE_N
+            ].T
+            compressed = compress(tile_t, pattern)
+            memory.write_matrix(
+                layouts["b"].tile_address(j, k), compressed.values, DType.BF16
+            )
+            memory.write(
+                layouts["b_metadata"].tile_address(j, k), compressed.metadata_bytes()
+            )
+
+
+def build_spgemm_kernel(
+    shape: GemmShape,
+    pattern: SparsityPattern,
+    *,
+    a: Optional[np.ndarray] = None,
+    b: Optional[np.ndarray] = None,
+    include_loop_overhead: bool = True,
+    max_output_tiles: Optional[int] = None,
+) -> KernelProgram:
+    """Build a sparse x sparse GEMM kernel for a joint 2:4 or 1:4 pattern.
+
+    ``pattern`` is the joint N:4 pattern *both* operands satisfy (derive it
+    with :func:`spgemm_joint_pattern` when A and B were pruned differently):
+    A along its rows, B along its columns (both along the K dimension).
+    """
+    if pattern not in SPGEMM_PATTERNS:
+        raise KernelError(
+            "build_spgemm_kernel handles joint 2:4 and 1:4 operand patterns; "
+            "use build_dense_gemm_kernel / build_spmm_kernel when an operand "
+            "is dense"
+        )
+    grid = TileGrid(shape=shape, pattern=pattern)
+    layouts = _plan_spgemm_layouts(grid)
+
+    memory: Optional[ByteMemory] = None
+    if a is not None or b is not None:
+        if a is None or b is None:
+            raise KernelError("provide both A and B, or neither")
+        a = np.asarray(a, dtype=np.float32)
+        b = np.asarray(b, dtype=np.float32)
+        if a.shape != (shape.m, shape.k) or b.shape != (shape.k, shape.n):
+            raise KernelError(
+                f"operand shapes {a.shape} / {b.shape} do not match GEMM {shape}"
+            )
+        if not satisfies_pattern(a, pattern):
+            raise KernelError(
+                f"A does not satisfy {pattern.value} structured sparsity along "
+                "its rows; prune it first"
+            )
+        if not satisfies_pattern(b.T, pattern):
+            raise KernelError(
+                f"B does not satisfy {pattern.value} structured sparsity along "
+                "its columns; prune it first"
+            )
+        memory = ByteMemory()
+        _fill_dual_sparse_operands(memory, grid, layouts, a, b)
+
+    # Register blocking: with both operands in 1 KB tregs the register file
+    # fits two live C accumulators (treg0-1), two A tiles (treg2-3) and one
+    # shared B tile (treg4) with its metadata in mreg4 — the same two-row
+    # interleave as the SPMM kernels, but with every B load shrunk to 1 KB.
+    c_regs = (treg(0), treg(1))
+    a_regs = (treg(2), treg(3))
+    b_reg = treg(4)
+    spgemm = (
+        isa.tile_spgemm_u
+        if pattern is SparsityPattern.SPARSE_2_4
+        else isa.tile_spgemm_v
+    )
+
+    total_tiles = grid.output_tiles
+    traced_tiles = total_tiles if max_output_tiles is None else min(
+        max_output_tiles, total_tiles
+    )
+    trace: List[TraceOp] = []
+    block_starts: List[int] = []
+    emitted = 0
+    for i_block in interleaved_block_rows(grid.tiles_m):
+        for j in range(grid.tiles_n):
+            if emitted >= traced_tiles:
+                break
+            emitted += len(i_block)
+            block_starts.append(len(trace))
+            if include_loop_overhead:
+                trace.extend(scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS))
+                trace.append(branch_op("tile-loop"))
+            for slot, i in enumerate(i_block):
+                trace.append(
+                    tile_op(
+                        isa.tile_load_t(
+                            c_regs[slot], layouts["c"].tile_address(i, j), "load C"
+                        )
+                    )
+                )
+            for k in range(grid.tiles_k):
+                for slot, i in enumerate(i_block):
+                    trace.append(
+                        tile_op(
+                            isa.tile_load_t(
+                                a_regs[slot], layouts["a"].tile_address(i, k), "load A"
+                            )
+                        )
+                    )
+                    trace.append(
+                        tile_op(
+                            isa.tile_load_m(
+                                mreg(a_regs[slot].index),
+                                layouts["a_metadata"].tile_address(i, k),
+                                "load A-MD",
+                            )
+                        )
+                    )
+                trace.append(
+                    tile_op(
+                        isa.tile_load_t(b_reg, layouts["b"].tile_address(j, k), "load B")
+                    )
+                )
+                trace.append(
+                    tile_op(
+                        isa.tile_load_m(
+                            mreg(b_reg.index),
+                            layouts["b_metadata"].tile_address(j, k),
+                            "load B-MD",
+                        )
+                    )
+                )
+                for slot, i in enumerate(i_block):
+                    trace.append(tile_op(spgemm(c_regs[slot], a_regs[slot], b_reg)))
+                if include_loop_overhead:
+                    trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
+                    trace.append(branch_op("k-loop"))
+            for slot, i in enumerate(i_block):
+                trace.append(
+                    tile_op(
+                        isa.tile_store_t(
+                            layouts["c"].tile_address(i, j), c_regs[slot], "store C"
+                        )
+                    )
+                )
+        if emitted >= traced_tiles:
+            break
+
+    traced = emitted if max_output_tiles is not None else total_tiles
+    return KernelProgram(
+        trace=trace,
+        shape=shape,
+        pattern=pattern,
+        memory=memory,
+        c_layout=layouts["c"],
+        simulated_fraction=traced / total_tiles,
+        label=f"spgemm-{pattern.value}",
+        block_starts=tuple(block_starts),
+    )

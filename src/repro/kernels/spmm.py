@@ -40,7 +40,14 @@ from .gemm import (
     _plan_layouts,
 )
 from .program import KernelProgram
-from .tiling import MatrixTileLayout, TILE_M, TILE_N, TileGrid, align_up
+from .tiling import (
+    MatrixTileLayout,
+    TILE_M,
+    TILE_N,
+    TileGrid,
+    align_up,
+    interleaved_block_rows,
+)
 
 
 def _fill_sparse_operands(
@@ -150,11 +157,7 @@ def build_spmm_kernel(
     trace: List[TraceOp] = []
     block_starts: List[int] = []
     emitted = 0
-    block_rows = [
-        tuple(dict.fromkeys((i, min(i + 1, grid.tiles_m - 1))))
-        for i in range(0, grid.tiles_m, 2)
-    ]
-    for i_block in block_rows:
+    for i_block in interleaved_block_rows(grid.tiles_m):
         for j in range(grid.tiles_n):
             if emitted >= traced_tiles:
                 break

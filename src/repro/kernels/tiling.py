@@ -164,3 +164,19 @@ def align_up(address: int, alignment: int = 4096) -> int:
     if alignment <= 0:
         raise KernelError(f"invalid alignment {alignment}")
     return int(math.ceil(address / alignment) * alignment)
+
+
+def interleaved_block_rows(tiles_m: int) -> list:
+    """Pairs of C tile-row indices for two-accumulator interleaved kernels.
+
+    The SPMM/SPGEMM kernels keep two live C accumulators and interleave two
+    output-tile rows sharing one B tile per K-step; an odd trailing row
+    yields a single-element pair.  Shared by the sparse kernel builders so
+    their block structure (and truncation accounting) cannot drift apart.
+    """
+    if tiles_m <= 0:
+        raise KernelError(f"tiles_m must be positive, got {tiles_m}")
+    return [
+        tuple(dict.fromkeys((i, min(i + 1, tiles_m - 1))))
+        for i in range(0, tiles_m, 2)
+    ]

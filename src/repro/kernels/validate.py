@@ -39,6 +39,44 @@ def reference_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return (a_rounded @ b_rounded).astype(np.float32)
 
 
+def reference_spgemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Sparse x sparse reference product (BF16 inputs, FP32 accumulation).
+
+    Computed through ``scipy.sparse`` CSR products when SciPy is available —
+    an independent sparse code path to validate the SPGEMM kernels against —
+    and falling back to the dense numpy reference otherwise (the container
+    may not ship SciPy; the numerical result is identical either way because
+    both accumulate in FP32 over the same non-zeros).
+    """
+    a_rounded = bf16_round(np.asarray(a, dtype=np.float32))
+    b_rounded = bf16_round(np.asarray(b, dtype=np.float32))
+    try:
+        from scipy import sparse as scipy_sparse
+    except ImportError:  # pragma: no cover - exercised only without SciPy
+        return (a_rounded @ b_rounded).astype(np.float32)
+    product = scipy_sparse.csr_matrix(a_rounded) @ scipy_sparse.csr_matrix(b_rounded)
+    return np.asarray(product.todense(), dtype=np.float32)
+
+
+def validate_spgemm_kernel(
+    program: KernelProgram,
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    rtol: float = 1e-3,
+    atol: float = 1e-3,
+) -> Tuple[bool, float]:
+    """Run a SpGEMM kernel and compare it with the sparse reference product.
+
+    Returns (matches, max_abs_error), like :func:`validate_kernel`.
+    """
+    result = run_functional(program)
+    reference = reference_spgemm(a, b)
+    error = float(np.max(np.abs(result - reference))) if reference.size else 0.0
+    matches = bool(np.allclose(result, reference, rtol=rtol, atol=atol))
+    return matches, error
+
+
 def validate_kernel(
     program: KernelProgram,
     a: np.ndarray,

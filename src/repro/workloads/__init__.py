@@ -1,8 +1,10 @@
 """Evaluation workloads: the Table IV layers, synthetic operands and sweeps."""
 
 from .generator import (
+    DualSparseOperands,
     GeneratedOperands,
     generate_dense,
+    generate_dual_sparse,
     generate_structured,
     generate_unstructured,
     scaled_problem,
@@ -12,17 +14,21 @@ from .sweeps import (
     FIGURE13_PATTERNS,
     FIGURE15_SPARSITY_DEGREES,
     FIGURE4_GEMM_SIZES,
+    SPGEMM_SWEEP_PATTERNS,
     SweepPoint,
     figure13_sweep,
     figure15_sweep,
     iterate_layer_patterns,
+    spgemm_sweep,
 )
 
 __all__ = [
+    "DualSparseOperands",
     "FIGURE13_PATTERNS",
     "FIGURE15_SPARSITY_DEGREES",
     "FIGURE4_GEMM_SIZES",
     "GeneratedOperands",
+    "SPGEMM_SWEEP_PATTERNS",
     "SweepPoint",
     "TABLE_IV_MACS",
     "WorkloadLayer",
@@ -30,10 +36,12 @@ __all__ = [
     "figure13_sweep",
     "figure15_sweep",
     "generate_dense",
+    "generate_dual_sparse",
     "generate_structured",
     "generate_unstructured",
     "get_layer",
     "iterate_layer_patterns",
     "layers_by_model",
     "scaled_problem",
+    "spgemm_sweep",
 ]

@@ -27,6 +27,21 @@ FIGURE15_SPARSITY_DEGREES: Tuple[float, ...] = (0.60, 0.65, 0.70, 0.75, 0.80, 0.
 #: GEMM dimension sizes swept in Figure 4.
 FIGURE4_GEMM_SIZES: Tuple[int, ...] = (32, 64, 128)
 
+#: Operand patterns swept by the SpGEMM (sparse x sparse) experiment.
+SPGEMM_SWEEP_PATTERNS: Tuple[SparsityPattern, ...] = (
+    SparsityPattern.SPARSE_2_4,
+    SparsityPattern.SPARSE_1_4,
+)
+
+
+def spgemm_sweep(
+    patterns: Sequence[SparsityPattern] = SPGEMM_SWEEP_PATTERNS,
+) -> List[Tuple[SparsityPattern, SparsityPattern]]:
+    """Every (A pattern, B pattern) point of the sparsity x sparsity sweep."""
+    return [
+        (pattern_a, pattern_b) for pattern_a in patterns for pattern_b in patterns
+    ]
+
 
 @dataclass(frozen=True)
 class SweepPoint:

@@ -114,6 +114,34 @@ class TestOutputForwarding:
         forwarded = base.with_output_forwarding()
         assert forwarded.nrows == base.nrows and forwarded.ncols == base.ncols
 
+    def test_with_output_forwarding_preserves_spgemm(self):
+        engine = get_engine("VEGETA-S-4-2").with_spgemm().with_output_forwarding()
+        assert engine.spgemm and engine.output_forwarding
+
+
+class TestSpgemm:
+    def test_with_spgemm_renames(self):
+        engine = get_engine("VEGETA-S-16-2").with_spgemm()
+        assert engine.spgemm
+        assert engine.name.endswith("+SPGEMM")
+
+    def test_catalog_engines_default_to_no_spgemm(self):
+        assert not get_engine("VEGETA-S-16-2").spgemm
+
+    def test_dense_engine_cannot_enable_spgemm(self):
+        with pytest.raises(ConfigurationError):
+            get_engine("VEGETA-D-1-2").with_spgemm()
+
+    def test_feed_overhead_scales_with_effective_k(self):
+        engine = get_engine("VEGETA-S-16-2").with_spgemm()
+        # K=64 -> 16 blocks at 4 intersections/cycle; K=128 -> 32 blocks.
+        assert engine.spgemm_feed_overhead(64) == 4
+        assert engine.spgemm_feed_overhead(128) == 8
+
+    def test_feed_overhead_requires_the_capability(self):
+        with pytest.raises(ConfigurationError):
+            get_engine("VEGETA-S-16-2").spgemm_feed_overhead(64)
+
 
 class TestValidation:
     def test_unknown_engine(self):

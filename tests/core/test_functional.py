@@ -127,6 +127,68 @@ class TestTileSpmm:
             machine.step(isa.tile_spmm_r(ureg(0), treg(1), ureg(2)))
 
 
+class TestTileSpgemm:
+    @pytest.mark.parametrize(
+        "pattern,k,compute",
+        [
+            (SparsityPattern.SPARSE_2_4, 64, isa.tile_spgemm_u),
+            (SparsityPattern.SPARSE_1_4, 128, isa.tile_spgemm_v),
+        ],
+    )
+    def test_matches_reference(self, rng, pattern, k, compute):
+        a = prune_to_pattern(rng.standard_normal((16, k)).astype(np.float32), pattern)
+        # B sparse column-block-wise along K: prune its transpose row-wise.
+        b = prune_to_pattern(
+            rng.standard_normal((16, k)).astype(np.float32), pattern
+        ).T.copy()
+        a_tile = compress(a, pattern)
+        b_tile = compress(b.T, pattern)
+        memory = ByteMemory()
+        memory.write_matrix(0x1000, a_tile.values, DType.BF16)
+        memory.write(0x2000, a_tile.metadata_bytes())
+        memory.write_matrix(0x4000, b_tile.values, DType.BF16)
+        memory.write(0x5000, b_tile.metadata_bytes())
+        program = [
+            isa.tile_load_t(treg(1), 0x1000),
+            isa.tile_load_m(mreg(1), 0x2000),
+            isa.tile_load_t(treg(2), 0x4000),
+            isa.tile_load_m(mreg(2), 0x5000),
+            compute(treg(0), treg(1), treg(2)),
+            isa.tile_store_t(0x8000, treg(0)),
+        ]
+        run_program(program, memory)
+        result = memory.read_matrix(0x8000, 16, 16, DType.FP32)
+        assert np.allclose(result, _reference(a, b), rtol=1e-3, atol=1e-3)
+
+    def test_effectual_macs_count_the_intersection(self, rng):
+        pattern = SparsityPattern.SPARSE_1_4
+        a = prune_to_pattern(rng.standard_normal((16, 128)).astype(np.float32), pattern)
+        b_t = prune_to_pattern(
+            rng.standard_normal((16, 128)).astype(np.float32), pattern
+        )
+        a_tile = compress(a, pattern)
+        b_tile = compress(b_t, pattern)
+        memory = ByteMemory()
+        memory.write_matrix(0x1000, a_tile.values, DType.BF16)
+        memory.write(0x2000, a_tile.metadata_bytes())
+        memory.write_matrix(0x4000, b_tile.values, DType.BF16)
+        memory.write(0x5000, b_tile.metadata_bytes())
+        machine = run_program(
+            [
+                isa.tile_load_t(treg(1), 0x1000),
+                isa.tile_load_m(mreg(1), 0x2000),
+                isa.tile_load_t(treg(2), 0x4000),
+                isa.tile_load_m(mreg(2), 0x5000),
+                isa.tile_spgemm_v(treg(0), treg(1), treg(2)),
+            ],
+            memory,
+        )
+        expected = int(((a != 0).astype(np.int64) @ (b_t != 0).astype(np.int64).T).sum())
+        assert machine.stats.effectual_macs == expected
+        # Dual 1:4 operands intersect far below the dense 16*16*128 MACs.
+        assert machine.stats.effectual_macs < 16 * 16 * 128 // 4
+
+
 class TestStatsByOpcode:
     def test_by_opcode_counts(self):
         machine = FunctionalMachine()

@@ -90,6 +90,14 @@ class TestConstructors:
         with pytest.raises(IsaError):
             isa.tile_spmm_r(treg(0), treg(2), ureg(2))
 
+    def test_tile_spgemm_signatures_are_all_tregs(self):
+        inst = isa.tile_spgemm_u(treg(0), treg(2), treg(4))
+        assert inst.src_b == treg(4)
+        with pytest.raises(IsaError):
+            isa.tile_spgemm_u(treg(0), treg(2), ureg(2))
+        with pytest.raises(IsaError):
+            isa.tile_spgemm_v(treg(0), treg(2), vreg(1))
+
 
 class TestDependenceInfo:
     def test_implicit_metadata_pairs_with_a_register(self):
@@ -113,6 +121,25 @@ class TestDependenceInfo:
         inst = isa.tile_load_u(ureg(1), 0x8000)
         assert inst.reads() == ()
         assert inst.writes_tregs() == (2, 3)
+
+    def test_spgemm_carries_two_implicit_metadata_registers(self):
+        inst = isa.tile_spgemm_u(treg(0), treg(2), treg(4))
+        assert inst.implicit_metadata == mreg(2)
+        assert inst.implicit_metadata_b == mreg(4)
+        assert mreg(2) in inst.reads() and mreg(4) in inst.reads()
+
+    def test_spmm_has_no_b_metadata(self):
+        assert isa.tile_spmm_u(treg(0), treg(3), ureg(2)).implicit_metadata_b is None
+
+    def test_spgemm_classification(self):
+        assert Opcode.TILE_SPGEMM_U.is_compute
+        assert Opcode.TILE_SPGEMM_U.is_sparse_compute
+        assert Opcode.TILE_SPGEMM_U.is_spgemm
+        assert Opcode.TILE_SPGEMM_V.is_spgemm
+        assert not Opcode.TILE_SPMM_U.is_spgemm
+        assert Opcode.TILE_SPGEMM_U.spgemm_effective_k == 64
+        assert Opcode.TILE_SPGEMM_V.spgemm_effective_k == 128
+        assert Opcode.TILE_GEMM.spgemm_effective_k == 0
 
 
 class TestValidation:

@@ -84,6 +84,48 @@ def test_unknown_experiment_is_an_error(capsys, cache_dir):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+def test_dump_unknown_experiment_is_an_error(capsys, cache_dir):
+    # Same contract for dump: exit non-zero with a clear message, no traceback.
+    assert main(["dump", "no-such-figure", "--cache-dir", cache_dir]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "Traceback" not in err
+
+
+def test_cache_clear_on_missing_directory_succeeds(tmp_path, capsys):
+    missing = tmp_path / "never-created"
+    assert main(["cache", "clear", "--cache-dir", str(missing)]) == 0
+    assert "removed 0" in capsys.readouterr().out
+
+
+def test_cache_info_on_missing_directory_succeeds(tmp_path, capsys):
+    missing = tmp_path / "never-created"
+    assert main(["cache", "info", "--cache-dir", str(missing)]) == 0
+    assert "entries:     0" in capsys.readouterr().out
+
+
+def test_run_spgemm_smoke(capsys, cache_dir):
+    argv = ["run", "spgemm", "--smoke", "--cache-dir", cache_dir, "--format", "csv"]
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    lines = captured.out.strip().splitlines()
+    assert lines[0].startswith("m,n,k,pattern_a,pattern_b,joint_pattern")
+    assert len(lines) == 1 + 4  # 1 smoke shape x 2 A patterns x 2 B patterns
+    # Acceptance: the validated sweep points prove fast == exact bit-for-bit
+    # and the functional result matches the sparse reference product.
+    header = lines[0].split(",")
+    for line in lines[1:]:
+        row = dict(zip(header, line.split(",")))
+        assert row["exact_match"] == "True"
+        assert row["functional_match"] == "True"
+        assert float(row["speedup_vs_dense"]) > 1.0
+
+    # Second invocation is served entirely from the cache.
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    assert "4 cached, 0 executed" in captured.err
+
+
 def test_bench_writes_payload(tmp_path, capsys):
     out = tmp_path / "BENCH_simulator.json"
     assert main(["bench", "--quick", "--out", str(out)]) == 0

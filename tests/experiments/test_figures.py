@@ -164,3 +164,85 @@ class TestHeadlineExperiment:
             cache=ResultCache(tmp_path),
         )
         assert all(row["speedup"] > 0 for row in table.rows)
+
+
+class TestSpgemmExperiment:
+    def test_registered_and_listed(self):
+        from repro.experiments.registry import list_experiments
+
+        assert "spgemm" in {experiment.name for experiment in list_experiments()}
+
+    def test_spec_axes_and_cache_versioning(self):
+        from repro.experiments.figures import SPGEMM_SPEC_VERSION, spgemm_spec
+
+        spec = spgemm_spec()
+        assert spec.version == SPGEMM_SPEC_VERSION
+        assert spec.num_trials == 3 * 2 * 2
+        # The machine description is part of every cache key.
+        assert "machine" in spec.fixed
+        trials = spec.trials()
+        keys = {spec.cache_key(trial) for trial in trials}
+        assert len(keys) == len(trials)
+
+    def test_smoke_option_restricts_the_sweep(self, tmp_path):
+        table = run_named("spgemm", {"smoke": True}, cache=ResultCache(tmp_path))
+        assert len(table) == 4
+        for row in table.rows:
+            # Acceptance: fast == exact bit-for-bit and the functional result
+            # matches the scipy/numpy sparse reference on validated points.
+            assert row["validated"] is True
+            assert row["exact_match"] is True
+            assert row["functional_match"] is True
+            assert row["spgemm_cycles"] == row["exact_cycles"]
+            assert row["speedup_vs_dense"] > 1.0
+            # The compressed B operand moves fewer bytes than SPMM's dense B
+            # whenever the joint pattern matches A's (when A is tighter than
+            # B, sparse x dense exploits A's pattern and can move less).
+            if row["pattern_a"] == row["joint_pattern"]:
+                assert row["traffic_vs_spmm"] < 1.0
+
+    def test_trial_runner_matches_direct_simulation(self, tmp_path):
+        from repro.cpu.params import default_machine
+        from repro.cpu.simulator import CycleApproximateSimulator
+        from repro.experiments.registry import get_trial_runner
+        from repro.kernels.spgemm import build_spgemm_kernel
+
+        params = {
+            "shape": {"m": 64, "n": 64, "k": 256, "validate": False},
+            "pattern_a": "2:4",
+            "pattern_b": "2:4",
+            "engine": "VEGETA-S-16-2+OF+SPGEMM",
+            "machine": default_machine().to_dict(),
+            "seed": 0,
+        }
+        row = get_trial_runner("spgemm")(params)
+        program = build_spgemm_kernel(
+            __import__("repro.types", fromlist=["GemmShape"]).GemmShape(64, 64, 256),
+            SparsityPattern.SPARSE_2_4,
+        )
+        simulator = CycleApproximateSimulator(
+            engine=resolve_engine("VEGETA-S-16-2+OF+SPGEMM")
+        )
+        direct = simulator.run(program.trace, block_starts=program.block_starts)
+        assert row["spgemm_cycles"] == direct.core_cycles
+        assert row["exact_cycles"] is None  # unvalidated shape skips the exact run
+
+    def test_max_output_tiles_truncates_and_changes_cache_keys(self, tmp_path):
+        from repro.experiments.figures import spgemm_spec
+
+        full = spgemm_spec()
+        truncated = spgemm_spec(max_output_tiles=1)
+        assert full.cache_key(full.trials()[0]) != truncated.cache_key(
+            truncated.trials()[0]
+        )
+        table = run_named(
+            "spgemm",
+            {"smoke": True, "max_output_tiles": 1},
+            cache=ResultCache(tmp_path),
+        )
+        for row in table.rows:
+            assert row["simulated_fraction"] < 1.0
+            # Truncated traces still prove fast == exact, but the partial C
+            # matrix cannot be validated functionally.
+            assert row["exact_match"] is True
+            assert row["functional_match"] is None

@@ -30,6 +30,40 @@ class TestResultCache:
         cache.path_for("demo", key).write_text("{not json")
         assert cache.get("demo", key) is None
 
+    def test_corrupt_entry_is_unlinked_on_read(self, tmp_path):
+        # Regression: a poisoned entry used to be left on disk, so every
+        # future run re-read, re-parsed and re-missed it forever.
+        cache = ResultCache(tmp_path)
+        key = "ab" + "3" * 62
+        cache.put("demo", key, {"v": 1})
+        path = cache.path_for("demo", key)
+        path.write_text('{"v": 1')  # truncated mid-write
+        assert cache.get("demo", key) is None
+        assert not path.exists()
+
+    def test_non_object_entry_is_unlinked_on_read(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "cd" + "4" * 62
+        cache.put("demo", key, {"v": 1})
+        path = cache.path_for("demo", key)
+        path.write_text("[1, 2, 3]")  # valid JSON, wrong shape
+        assert cache.get("demo", key) is None
+        assert not path.exists()
+
+    def test_poisoned_entry_heals_after_one_get_put_cycle(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ee" + "5" * 62
+        cache.put("demo", key, {"v": 1})
+        cache.path_for("demo", key).write_text("garbage")
+        # The runner's flow on a poisoned key: miss, re-execute, put, hit.
+        assert cache.get("demo", key) is None
+        cache.put("demo", key, {"v": 2})
+        assert cache.get("demo", key) == {"v": 2}
+
+    def test_missing_entry_is_a_plain_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("demo", "ff" + "6" * 62) is None
+
     def test_clear_counts_and_removes(self, tmp_path):
         cache = ResultCache(tmp_path)
         for i in range(3):

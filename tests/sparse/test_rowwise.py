@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import SparsityError
 from repro.sparse.pruning import prune_unstructured
@@ -57,6 +58,67 @@ class TestTransformUnstructured:
         sparse = transform_unstructured(_unstructured(rng, degree=0.95))
         dense = transform_unstructured(_unstructured(rng, degree=0.3))
         assert sparse.stored_elements < dense.stored_elements
+
+
+class TestTransformUnstructuredEdgeRows:
+    def test_all_zero_rows_round_trip(self, rng):
+        matrix = np.zeros((8, 32), dtype=np.float32)
+        tile = transform_unstructured(matrix)
+        assert np.array_equal(tile.decompress(), matrix)
+        # A zero row needs no stored values beyond 1:4's mandatory slots.
+        assert all(p is SparsityPattern.SPARSE_1_4 for p in tile.row_patterns)
+
+    def test_mixed_zero_and_dense_rows(self, rng):
+        matrix = np.zeros((4, 16), dtype=np.float32)
+        matrix[1] = rng.standard_normal(16).astype(np.float32) + 2.0  # fully dense
+        matrix[3, ::4] = 1.0  # exactly one non-zero per block
+        tile = transform_unstructured(matrix)
+        assert np.array_equal(tile.decompress(), matrix)
+        assert tile.row_patterns[0] is SparsityPattern.SPARSE_1_4
+        assert tile.row_patterns[1] is SparsityPattern.DENSE_4_4
+        assert tile.row_patterns[3] is SparsityPattern.SPARSE_1_4
+
+    def test_fully_dense_rows_use_4_4_and_round_trip(self, rng):
+        matrix = rng.standard_normal((16, 64)).astype(np.float32)
+        matrix[matrix == 0.0] = 1.0  # guarantee every element non-zero
+        tile = transform_unstructured(matrix)
+        assert all(p is SparsityPattern.DENSE_4_4 for p in tile.row_patterns)
+        assert np.array_equal(tile.decompress(), matrix)
+
+    def test_three_nonzeros_per_block_needs_4_4(self, rng):
+        # 3 non-zeros in a block exceeds 2:4, so the covering must fall back
+        # to the 4:4 pattern even though the row is not fully dense.
+        matrix = np.zeros((1, 8), dtype=np.float32)
+        matrix[0, [0, 1, 2]] = 1.0
+        tile = transform_unstructured(matrix)
+        assert tile.row_patterns[0] is SparsityPattern.DENSE_4_4
+        assert np.array_equal(tile.decompress(), matrix)
+
+
+@st.composite
+def edge_biased_tiles(draw, max_rows=12, max_blocks=10):
+    """Random unstructured tiles with forced all-zero and fully-dense rows."""
+    rows = draw(st.integers(min_value=2, max_value=max_rows))
+    blocks = draw(st.integers(min_value=1, max_value=max_blocks))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    degree = draw(st.floats(min_value=0.0, max_value=1.0))
+    generator = np.random.default_rng(seed)
+    matrix = generator.standard_normal((rows, blocks * 4)).astype(np.float32)
+    matrix *= generator.random(matrix.shape) < degree
+    zero_row = draw(st.integers(min_value=0, max_value=rows - 1))
+    dense_row = draw(st.integers(min_value=0, max_value=rows - 1))
+    matrix[zero_row] = 0.0
+    matrix[dense_row] = np.abs(matrix[dense_row]) + 1.0
+    return matrix.astype(np.float32)
+
+
+@settings(max_examples=60, deadline=None)
+@given(matrix=edge_biased_tiles())
+def test_transform_round_trips_tiles_with_edge_rows(matrix):
+    # decompress() == input even with all-zero and fully-dense (4:4) rows.
+    tile = transform_unstructured(matrix)
+    assert np.array_equal(tile.decompress(), matrix)
+    assert len(tile.row_patterns) == matrix.shape[0]
 
 
 class TestCompressRowwise:

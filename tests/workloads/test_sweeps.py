@@ -43,3 +43,30 @@ class TestSweeps:
     def test_iterate_layer_patterns(self):
         pairs = list(iterate_layer_patterns())
         assert len(pairs) == len(all_layers()) * 3
+
+
+class TestSpgemmSweep:
+    def test_enumerates_the_full_pattern_cross_product(self):
+        from repro.workloads.sweeps import SPGEMM_SWEEP_PATTERNS, spgemm_sweep
+
+        points = spgemm_sweep()
+        assert len(points) == len(SPGEMM_SWEEP_PATTERNS) ** 2
+        assert len(set(points)) == len(points)
+        for pattern_a, pattern_b in points:
+            assert pattern_a in SPGEMM_SWEEP_PATTERNS
+            assert pattern_b in SPGEMM_SWEEP_PATTERNS
+
+    def test_matches_the_experiment_spec_axes(self):
+        # spgemm_sweep() is the canonical enumeration; the registered
+        # experiment's pattern axes must expand to exactly the same points.
+        from repro.experiments.figures import spgemm_spec
+        from repro.types import SparsityPattern
+        from repro.workloads.sweeps import spgemm_sweep
+
+        spec = spgemm_spec()
+        spec_points = {
+            (SparsityPattern(a), SparsityPattern(b))
+            for a in spec.axes["pattern_a"]
+            for b in spec.axes["pattern_b"]
+        }
+        assert spec_points == set(spgemm_sweep())
