@@ -81,7 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "--smoke",
             action="store_true",
             help="restrict the sweep to its smallest smoke configuration "
-            "(currently honored by the spgemm experiment)",
+            "(currently honored by the spgemm and scaling experiments)",
         )
         sub.add_argument(
             "--format",

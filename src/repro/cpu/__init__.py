@@ -6,11 +6,18 @@ Sub-modules:
 * :mod:`repro.cpu.cache` — set-associative caches and the two-level hierarchy,
 * :mod:`repro.cpu.memory` — the memory system with bandwidth accounting,
 * :mod:`repro.cpu.trace` — dynamic instruction traces (the Pin-tool replacement),
-* :mod:`repro.cpu.simulator` — the trace-driven simulator.
+* :mod:`repro.cpu.simulator` — the trace-driven simulator,
+* :mod:`repro.cpu.multicore` — N-core simulation with shared-L3/DRAM arbitration.
 """
 
 from .cache import AccessResult, Cache, CacheHierarchy, CacheStats
 from .memory import MemoryRequestResult, MemorySystem
+from .multicore import (
+    MulticoreSimulationResult,
+    SharedMemoryParams,
+    arbitrate_bandwidth,
+    simulate_multicore,
+)
 from .params import CacheParams, CoreParams, MachineParams, MemoryParams, default_machine
 from .simulator import CycleApproximateSimulator, SimulationResult
 from .trace import (
@@ -18,6 +25,8 @@ from .trace import (
     TraceOpKind,
     TraceSummary,
     branch_op,
+    format_trace,
+    format_trace_op,
     scalar_op,
     summarize_trace,
     tile_op,
@@ -39,13 +48,19 @@ __all__ = [
     "MemoryParams",
     "MemoryRequestResult",
     "MemorySystem",
+    "MulticoreSimulationResult",
+    "SharedMemoryParams",
     "SimulationResult",
     "TraceOp",
     "TraceOpKind",
     "TraceSummary",
+    "arbitrate_bandwidth",
     "branch_op",
     "default_machine",
+    "format_trace",
+    "format_trace_op",
     "scalar_op",
+    "simulate_multicore",
     "summarize_trace",
     "tile_op",
     "trace_memory_footprint",

@@ -1,0 +1,332 @@
+"""Multi-core simulation: private-core simulators + a shared-memory arbiter.
+
+The single-core :class:`~repro.cpu.simulator.CycleApproximateSimulator`
+models one core's private L1/L2 hierarchy and its *own* DRAM channel.  Once
+the output-tile grid of a kernel is sharded across N cores
+(:mod:`repro.kernels.sharding`), that private model misses the first-order
+scaling effect: every core's miss traffic competes for the same last-level
+cache and the same memory controller, so a memory-bound kernel stops scaling
+long before a compute-bound one does (the Occamy observation).
+
+The model here keeps each core's simulation exactly as it is — fast or exact
+mode, bit-identical cycle counts and cache counters — and layers a shared
+memory system on top:
+
+* **Shared L3 (analytic).**  Every line a private simulation sent to DRAM
+  traverses the shared L3.  Lines missing the private L2 for *capacity*
+  reasons (misses beyond the core's compulsory footprint) hit in the L3 in
+  proportion to how much of the cores' combined footprint fits its capacity;
+  compulsory misses always go to DRAM.  L3 hits still consume the shared L3
+  port bandwidth.
+* **Bandwidth arbiter (fluid, event-stepped).**  Each core demands shared-L3
+  and DRAM line bandwidth at its private average rate.  Demand rates only
+  change when a core finishes, so the arbiter advances all cores together in
+  time steps bounded by the next core completion; whenever the aggregate
+  demand on a shared resource exceeds its supply, that resource's bandwidth
+  is granted proportionally to demand and every core demanding *it* is
+  dilated by the resource's shortfall factor for that step.  Cores with no
+  demand on a congested resource run undilated, and a finished core's
+  demand disappears — so contention shows up in *cycles* (a longer
+  makespan), not just in byte counts.
+
+With one core the arbiter is structurally a no-op: the private simulator
+already throttles the core's DRAM traffic to the same bandwidth the shared
+channel offers, so its demand can never exceed supply and the multi-core
+result is bit-identical to the single-core simulation (an invariant the test
+suite pins for every kernel).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.engine import EngineConfig
+from ..errors import SimulationError
+from .params import MachineParams, default_machine
+from .simulator import CycleApproximateSimulator, SimulationResult
+from .trace import trace_memory_footprint
+
+#: Default shared-L3 capacity (a server-class last-level cache slice pool).
+DEFAULT_L3_CAPACITY_BYTES = 32 * 1024 * 1024
+
+#: Default shared-L3 port bandwidth in bytes per core cycle (two 64 B lines).
+DEFAULT_L3_BYTES_PER_CYCLE = 128.0
+
+#: Hard bound on arbiter iterations (a runaway-model backstop; the loop
+#: steps from core completion to core completion, so it can only trip on a
+#: genuinely broken progress computation).
+MAX_ARBITER_STEPS = 1_000_000
+
+
+@dataclass(frozen=True)
+class SharedMemoryParams:
+    """The shared memory system the cores contend for.
+
+    ``dram_bandwidth_gbps`` of ``None`` uses the machine's own DRAM
+    bandwidth — i.e. replicating cores does not replicate memory channels,
+    which is exactly what makes memory-bound kernels stop scaling.  Line
+    granularity always follows the machine's cache line size.
+    """
+
+    l3_capacity_bytes: int = DEFAULT_L3_CAPACITY_BYTES
+    l3_bytes_per_cycle: float = DEFAULT_L3_BYTES_PER_CYCLE
+    dram_bandwidth_gbps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.l3_capacity_bytes <= 0 or self.l3_bytes_per_cycle <= 0:
+            raise SimulationError("shared L3 capacity and bandwidth must be positive")
+        if self.dram_bandwidth_gbps is not None and self.dram_bandwidth_gbps <= 0:
+            raise SimulationError("shared DRAM bandwidth must be positive")
+
+    def dram_lines_per_cycle(self, machine: MachineParams) -> float:
+        """Shared DRAM line bandwidth in lines per core cycle.
+
+        When no explicit bandwidth is configured, the supply mirrors the
+        private simulator's *effective* line rate — the whole-cycle service
+        time :class:`~repro.cpu.memory.MemorySystem` charges per DRAM line —
+        rather than the nominal GB/s figure.  One core's demand therefore can
+        never exceed the shared supply by itself, which is what keeps the
+        one-core multi-core simulation bit-identical to the single-core path.
+        """
+        line_bytes = machine.l1.line_bytes
+        if self.dram_bandwidth_gbps is None:
+            bytes_per_cycle = max(1.0, machine.memory.dram_bytes_per_core_cycle)
+            service_cycles = int(line_bytes / bytes_per_cycle)
+            return 1.0 / service_cycles if service_cycles > 0 else math.inf
+        bytes_per_cycle = self.dram_bandwidth_gbps / machine.core.frequency_ghz
+        return bytes_per_cycle / line_bytes
+
+    def l3_lines_per_cycle(self, machine: MachineParams) -> float:
+        """Shared L3 port bandwidth in lines per core cycle."""
+        return self.l3_bytes_per_cycle / machine.l1.line_bytes
+
+
+@dataclass
+class ArbitrationOutcome:
+    """Result of the fluid bandwidth arbitration across cores."""
+
+    finish_cycles: List[int]
+    makespan: int
+    contended: bool
+
+
+def arbitrate_bandwidth(
+    core_cycles: Sequence[int],
+    dram_lines: Sequence[int],
+    l3_lines: Sequence[int],
+    *,
+    dram_lines_per_cycle: float,
+    l3_lines_per_cycle: float,
+    max_steps: int = MAX_ARBITER_STEPS,
+) -> ArbitrationOutcome:
+    """Serialize the cores' shared-memory traffic in bounded time steps.
+
+    Each core ``i`` needs ``core_cycles[i]`` cycles of private progress and
+    spreads ``dram_lines[i]`` / ``l3_lines[i]`` of shared traffic uniformly
+    over them (the fluid approximation of its average demand rate).  Per
+    step, a resource whose aggregate demand exceeds its supply grants
+    bandwidth proportionally to demand, dilating every core demanding *that
+    resource* by its shortfall factor (a core is slowed only by resources it
+    actually uses; with demand on both, the tighter one governs).  Demand
+    rates are constant between completions, so each step runs exactly to the
+    next core's finish.  When no resource is ever oversubscribed every core
+    finishes at exactly its private cycle count.
+    """
+    cores = len(core_cycles)
+    if not (len(dram_lines) == len(l3_lines) == cores):
+        raise SimulationError("per-core traffic vectors must match the core count")
+    rate_dram = [
+        (lines / cycles if cycles else 0.0)
+        for lines, cycles in zip(dram_lines, core_cycles)
+    ]
+    rate_l3 = [
+        (lines / cycles if cycles else 0.0)
+        for lines, cycles in zip(l3_lines, core_cycles)
+    ]
+    remaining = [float(cycles) for cycles in core_cycles]
+    finish = [0.0] * cores
+    active = [index for index in range(cores) if remaining[index] > 0]
+    wall = 0.0
+    contended = False
+    steps = 0
+    while active:
+        steps += 1
+        if steps > max_steps:
+            raise SimulationError(
+                f"bandwidth arbitration exceeded {max_steps} time steps"
+            )
+        demand_dram = sum(rate_dram[index] for index in active)
+        demand_l3 = sum(rate_l3[index] for index in active)
+        throttle_dram = (
+            min(1.0, dram_lines_per_cycle / demand_dram) if demand_dram > 0 else 1.0
+        )
+        throttle_l3 = (
+            min(1.0, l3_lines_per_cycle / demand_l3) if demand_l3 > 0 else 1.0
+        )
+        if min(throttle_dram, throttle_l3) < 1.0:
+            contended = True
+        factors = {}
+        for index in active:
+            factor = 1.0
+            if rate_dram[index] > 0.0:
+                factor = min(factor, throttle_dram)
+            if rate_l3[index] > 0.0:
+                factor = min(factor, throttle_l3)
+            factors[index] = factor
+        step = min(remaining[index] / factors[index] for index in active)
+        wall += step
+        still_active = []
+        for index in active:
+            remaining[index] -= factors[index] * step
+            if remaining[index] <= 1e-9:
+                remaining[index] = 0.0
+                finish[index] = wall
+            else:
+                still_active.append(index)
+        active = still_active
+    finish_cycles = [int(math.ceil(value - 1e-6)) if value > 0 else 0 for value in finish]
+    makespan = max(finish_cycles) if finish_cycles else 0
+    return ArbitrationOutcome(
+        finish_cycles=finish_cycles, makespan=makespan, contended=contended
+    )
+
+
+@dataclass
+class MulticoreSimulationResult:
+    """Outcome of simulating per-core programs under shared-memory arbitration."""
+
+    core_cycles: int
+    per_core: List[SimulationResult]
+    finish_cycles: List[int]
+    dram_lines: List[int]
+    l3_hit_lines: List[int]
+    contended: bool
+    machine: MachineParams
+    engine: Optional[EngineConfig]
+    shared: SharedMemoryParams
+    memory_counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cores(self) -> int:
+        """Number of simulated cores."""
+        return len(self.per_core)
+
+    @property
+    def private_cycles(self) -> List[int]:
+        """Per-core cycle counts before shared-memory arbitration."""
+        return [result.core_cycles for result in self.per_core]
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean of the per-core private cycle counts (1.0 = balanced)."""
+        cycles = self.private_cycles
+        mean = sum(cycles) / len(cycles) if cycles else 0.0
+        return max(cycles) / mean if mean else 1.0
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Fraction of the shared DRAM line bandwidth used over the makespan."""
+        if self.core_cycles == 0:
+            return 0.0
+        supply = self.shared.dram_lines_per_cycle(self.machine) * self.core_cycles
+        return min(1.0, sum(self.dram_lines) / supply) if supply else 0.0
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Wall-clock makespan at the core frequency."""
+        return self.core_cycles / (self.machine.core.frequency_ghz * 1e9)
+
+    def speedup_over(self, single_core_cycles: int) -> float:
+        """Speed-up of this multi-core run over a single-core cycle count."""
+        return single_core_cycles / self.core_cycles if self.core_cycles else 0.0
+
+
+def _footprint_lines(trace, line_bytes: int) -> Set[int]:
+    """Distinct cache-line numbers referenced by a trace."""
+    lines: Set[int] = set()
+    for address, nbytes in trace_memory_footprint(trace):
+        first = address // line_bytes
+        last = (address + nbytes - 1) // line_bytes
+        lines.update(range(first, last + 1))
+    return lines
+
+
+def simulate_multicore(
+    programs: Sequence[Any],
+    *,
+    machine: Optional[MachineParams] = None,
+    engine: Optional[EngineConfig] = None,
+    mode: str = "fast",
+    shared: Optional[SharedMemoryParams] = None,
+) -> MulticoreSimulationResult:
+    """Simulate one per-core program per simulated core under shared memory.
+
+    ``programs`` is one entry per core, each carrying a ``trace`` and
+    (optionally) ``block_starts`` — a :class:`~repro.kernels.program.KernelProgram`
+    or any duck-typed equivalent.  Every core runs the existing private
+    simulator in ``mode``; the shared-L3 estimate and bandwidth arbiter then
+    convert cross-core miss traffic into a (possibly dilated) makespan.
+    """
+    if not programs:
+        raise SimulationError("simulate_multicore needs at least one per-core program")
+    machine = machine if machine is not None else default_machine()
+    shared = shared if shared is not None else SharedMemoryParams()
+    simulator = CycleApproximateSimulator(machine=machine, engine=engine, mode=mode)
+
+    line_bytes = machine.l1.line_bytes
+    per_core: List[SimulationResult] = []
+    footprints: List[Set[int]] = []
+    for program in programs:
+        trace = program.trace
+        block_starts = getattr(program, "block_starts", None)
+        per_core.append(simulator.run(trace, block_starts=block_starts))
+        footprints.append(_footprint_lines(trace, line_bytes))
+
+    # Analytic shared L3: capacity misses (beyond each core's compulsory
+    # footprint) hit in proportion to how much of the combined working set
+    # fits; compulsory misses always pay the DRAM trip.
+    combined_lines = len(set().union(*footprints)) if footprints else 0
+    combined_bytes = combined_lines * line_bytes
+    fit_fraction = (
+        min(1.0, shared.l3_capacity_bytes / combined_bytes) if combined_bytes else 1.0
+    )
+    private_dram = [
+        result.memory_counters.get("dram_line_requests", 0) for result in per_core
+    ]
+    l3_hit_lines: List[int] = []
+    dram_lines: List[int] = []
+    for lines, footprint in zip(private_dram, footprints):
+        capacity_misses = max(0, lines - len(footprint))
+        hits = int(capacity_misses * fit_fraction)
+        l3_hit_lines.append(hits)
+        dram_lines.append(lines - hits)
+
+    outcome = arbitrate_bandwidth(
+        [result.core_cycles for result in per_core],
+        dram_lines,
+        private_dram,  # every private DRAM-bound line traverses the L3 port
+        dram_lines_per_cycle=shared.dram_lines_per_cycle(machine),
+        l3_lines_per_cycle=shared.l3_lines_per_cycle(machine),
+    )
+
+    counters: Dict[str, int] = {}
+    for result in per_core:
+        for key, value in result.memory_counters.items():
+            counters[key] = counters.get(key, 0) + value
+    counters["l3_hit_lines"] = sum(l3_hit_lines)
+    counters["shared_dram_lines"] = sum(dram_lines)
+
+    return MulticoreSimulationResult(
+        core_cycles=outcome.makespan,
+        per_core=per_core,
+        finish_cycles=outcome.finish_cycles,
+        dram_lines=dram_lines,
+        l3_hit_lines=l3_hit_lines,
+        contended=outcome.contended,
+        machine=machine,
+        engine=engine,
+        shared=shared,
+        memory_counters=counters,
+    )

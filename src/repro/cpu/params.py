@@ -139,3 +139,21 @@ class MachineParams:
 def default_machine() -> MachineParams:
     """The evaluation machine of Section VI-B."""
     return MachineParams()
+
+
+def memory_bound_machine() -> MachineParams:
+    """A bandwidth-starved variant of the evaluation machine.
+
+    Drops the "data is prefetched into L2" assumption, shrinks the L2 to
+    256 KB and throttles DRAM to 12 GB/s — the regime where byte counts turn
+    into cycles.  Used by the memory-bound SpGEMM study (the compressed-B
+    traffic win becomes a cycle win) and as the memory-bound workload machine
+    of the multi-core ``scaling`` experiment (replicated cores saturate the
+    shared channel).  With the paper's default machine the tiled kernels are
+    compute/latency-bound and neither effect is visible.
+    """
+    return MachineParams(
+        l2=CacheParams(name="L2", capacity_bytes=256 * 1024, hit_latency=14),
+        memory=MemoryParams(dram_bandwidth_gbps=12.0),
+        prefetch_into_l2=False,
+    )

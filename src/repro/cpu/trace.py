@@ -178,6 +178,51 @@ def summarize_trace(trace: Iterable[TraceOp]) -> TraceSummary:
     return summary
 
 
+def format_trace_op(op: TraceOp) -> str:
+    """Render one trace op in the stable golden-trace text format.
+
+    The format is append-only by convention: the golden-trace regression
+    tests snapshot it verbatim, so changing existing fields (rather than
+    adding new ones at the end) is a deliberate, test-visible act.
+    """
+    if op.kind is TraceOpKind.TILE:
+        instruction = op.tile
+        fields = [f"TILE {instruction.opcode.value}"]
+        if instruction.dst is not None:
+            fields.append(f"dst={instruction.dst.name}")
+        if instruction.src_a is not None:
+            fields.append(f"a={instruction.src_a.name}")
+        if instruction.src_b is not None:
+            fields.append(f"b={instruction.src_b.name}")
+        if instruction.memory is not None:
+            fields.append(f"addr={instruction.memory.address:#x}")
+            fields.append(f"bytes={instruction.memory.nbytes}")
+        if op.label:
+            fields.append(f"label={op.label!r}")
+        return " ".join(fields)
+    fields = [op.kind.value.upper()]
+    if op.dst_reg is not None:
+        fields.append(f"dst=v{op.dst_reg}")
+    if op.src_regs:
+        fields.append("src=" + ",".join(f"v{reg}" for reg in op.src_regs))
+    if op.address is not None:
+        fields.append(f"addr={op.address:#x}")
+        fields.append(f"bytes={op.nbytes}")
+    if op.label:
+        fields.append(f"label={op.label!r}")
+    return " ".join(fields)
+
+
+def format_trace(trace: Iterable[TraceOp], limit: Optional[int] = None) -> str:
+    """Render a trace (or its first ``limit`` ops) one op per line."""
+    lines = []
+    for index, op in enumerate(trace):
+        if limit is not None and index >= limit:
+            break
+        lines.append(f"{index:4d}  {format_trace_op(op)}")
+    return "\n".join(lines)
+
+
 def trace_memory_footprint(trace: Iterable[TraceOp]) -> List[Tuple[int, int]]:
     """Unique (address, nbytes) regions referenced by a trace.
 

@@ -39,6 +39,8 @@ from ..workloads.layers import WorkloadLayer, all_layers, get_layer
 from ..workloads.sweeps import (
     FIGURE13_PATTERNS,
     FIGURE15_SPARSITY_DEGREES,
+    SCALING_CORES,
+    SCALING_SMOKE_CORES,
     SPGEMM_SWEEP_PATTERNS,
 )
 from .registry import register_experiment, trial_runner
@@ -55,6 +57,10 @@ AREA_POWER_SPEC_VERSION = "1"
 #: latency model).  Bump whenever the SpGEMM kernel encoding, the engine's
 #: intersection latency model, or the validation semantics change.
 SPGEMM_SPEC_VERSION = "1"
+#: v1: initial multi-core tile-grid sharding sweep.  Bump whenever the
+#: partitioner, the shared-L3/DRAM arbiter model, or the workload machine
+#: definitions (incl. ``memory_bound_machine``) change semantics.
+SCALING_SPEC_VERSION = "1"
 
 #: Headline comparison of the abstract (RASA-DM vs best VEGETA-S design).
 HEADLINE_BASELINE = "VEGETA-D-1-2"
@@ -515,12 +521,219 @@ def run_spgemm_trial(params: Dict[str, Any]) -> Dict[str, Any]:
     "SpGEMM: sparse x sparse tile kernels vs the dense and sparse x dense paths",
 )
 def build_spgemm(options: Dict[str, Any]) -> ExperimentSpec:
+    from ..cpu.params import memory_bound_machine
+
     shapes = SPGEMM_SMOKE_SHAPES if options.get("smoke") else SPGEMM_SWEEP_SHAPES
     return spgemm_spec(
         shapes=options.get("shapes", shapes),
         engine_name=options.get("engine", SPGEMM_ENGINE),
+        # The memory-bound study (ROADMAP): on the bandwidth-starved machine
+        # the compressed-B traffic win (traffic_vs_spmm < 1) becomes a cycle
+        # win (speedup_vs_spmm > 1), pinned by the regression tests.
+        machine=memory_bound_machine() if options.get("membound") else None,
         seed=options.get("seed", 0),
         max_output_tiles=options.get("max_output_tiles"),
+    )
+
+
+# -- Scaling: multi-core tile-grid sharding under shared-memory contention ---
+
+#: Engine running the scaling sweep (capable of every kernel kind).
+SCALING_ENGINE = "VEGETA-S-16-2+OF+SPGEMM"
+
+#: Partition strategies swept (mirrors kernels.tiling.PARTITION_STRATEGIES;
+#: spelled out so the spec stays plain data).
+SCALING_STRATEGIES = ("row-block", "column-block", "2d-cyclic")
+
+#: The strategies the ``--smoke`` CLI flag restricts the sweep to.
+SCALING_SMOKE_STRATEGIES = ("row-block",)
+
+
+def _scaling_workloads() -> List[Dict[str, Any]]:
+    """The workload axis of the scaling sweep, machines resolved inline.
+
+    ``gemm-compute`` runs on the paper's default machine (ideal L2 prefetch:
+    essentially no shared-memory traffic, so sharding should scale near
+    linearly up to the partition's block-grid limits), while
+    ``gemm-membound`` runs on :func:`~repro.cpu.params.memory_bound_machine`
+    (every core streams its operands from a 12 GB/s shared channel, so the
+    arbiter caps throughput no matter how many cores are added).  The sparse
+    kernels run compute-bound, showing the same scaling as the dense path at
+    a lower absolute cycle count.
+    """
+    from ..cpu.params import default_machine, memory_bound_machine
+
+    default = default_machine().to_dict()
+    membound = memory_bound_machine().to_dict()
+    return [
+        {
+            "name": "gemm-compute",
+            "kind": "gemm",
+            "m": 256, "n": 256, "k": 1024,
+            "pattern": SparsityPattern.DENSE_4_4.value,
+            "machine": default,
+        },
+        {
+            "name": "gemm-membound",
+            "kind": "gemm",
+            "m": 256, "n": 256, "k": 512,
+            "pattern": SparsityPattern.DENSE_4_4.value,
+            "machine": membound,
+        },
+        {
+            "name": "spmm-2:4",
+            "kind": "spmm",
+            "m": 256, "n": 256, "k": 1024,
+            "pattern": SparsityPattern.SPARSE_2_4.value,
+            "machine": default,
+        },
+        {
+            "name": "spgemm-2:4",
+            "kind": "spgemm",
+            "m": 256, "n": 256, "k": 1024,
+            "pattern": SparsityPattern.SPARSE_2_4.value,
+            "machine": default,
+        },
+    ]
+
+
+def scaling_spec(
+    *,
+    workloads: Optional[Sequence[Dict[str, Any]]] = None,
+    cores: Sequence[int] = SCALING_CORES,
+    strategies: Sequence[str] = SCALING_STRATEGIES,
+    engine_name: str = SCALING_ENGINE,
+    shared: Optional[Dict[str, Any]] = None,
+) -> ExperimentSpec:
+    """The scaling sweep: workloads x core counts x partition strategies."""
+    import dataclasses
+
+    from ..cpu.multicore import SharedMemoryParams
+
+    resolved_shared = (
+        shared if shared is not None else dataclasses.asdict(SharedMemoryParams())
+    )
+    return ExperimentSpec(
+        name="scaling",
+        version=SCALING_SPEC_VERSION,
+        axes={
+            "workload": list(workloads) if workloads is not None else _scaling_workloads(),
+            "cores": [int(count) for count in cores],
+            "strategy": list(strategies),
+        },
+        fixed={"engine": engine_name, "shared": resolved_shared},
+        columns=(
+            "workload",
+            "kind",
+            "cores",
+            "strategy",
+            "core_cycles",
+            "single_core_cycles",
+            "speedup",
+            "efficiency",
+            "load_imbalance",
+            "bandwidth_utilization",
+            "contended",
+            "idle_cores",
+            "single_core_match",
+        ),
+    )
+
+
+#: Per-process memo of single-core baseline cycles keyed by the canonical
+#: JSON of (workload, engine).  The baseline depends only on those two, so
+#: the cores x strategy trials of one workload share one simulation instead
+#: of re-running it 15 times; worker processes each warm their own memo.
+_SCALING_BASELINES: Dict[str, int] = {}
+
+
+def _scaling_baseline_cycles(workload: Dict[str, Any], engine_name: str) -> int:
+    """Cycles of the unsharded single-core kernel for one scaling workload."""
+    from ..cpu.simulator import CycleApproximateSimulator
+    from ..kernels.sharding import shard_kernel
+    from .spec import canonical_json
+
+    key = canonical_json({"workload": workload, "engine": engine_name})
+    cached = _SCALING_BASELINES.get(key)
+    if cached is not None:
+        return cached
+    shape = GemmShape(m=workload["m"], n=workload["n"], k=workload["k"])
+    program = shard_kernel(
+        workload["kind"], shape, SparsityPattern(workload["pattern"]), 1
+    ).programs[0]
+    result = CycleApproximateSimulator(
+        machine=MachineParams.from_dict(workload["machine"]),
+        engine=resolve_engine(engine_name),
+    ).run(program.trace, block_starts=program.block_starts)
+    _SCALING_BASELINES[key] = result.core_cycles
+    return result.core_cycles
+
+
+@trial_runner("scaling")
+def run_scaling_trial(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Simulate one (workload, cores, strategy) point of the scaling sweep.
+
+    The kernel's block grid is partitioned with the trial's strategy, every
+    per-core program runs the private fast-path simulator, and the shared
+    L3/DRAM arbiter converts cross-core miss traffic into the makespan the
+    speed-up is computed from.  Every trial also simulates the unsharded
+    single-core kernel as its own baseline; for ``cores == 1`` the row
+    records whether the sharded makespan matched it bit-for-bit (the
+    invariant the multi-core model is built on).
+    """
+    from ..cpu.multicore import SharedMemoryParams, simulate_multicore
+    from ..kernels.sharding import shard_kernel
+
+    workload = params["workload"]
+    cores = int(params["cores"])
+    strategy = params["strategy"]
+    shape = GemmShape(m=workload["m"], n=workload["n"], k=workload["k"])
+    pattern = SparsityPattern(workload["pattern"])
+    machine = MachineParams.from_dict(workload["machine"])
+    engine = resolve_engine(params["engine"])
+    shared = SharedMemoryParams(**params["shared"])
+
+    sharded = shard_kernel(workload["kind"], shape, pattern, cores, strategy)
+    result = simulate_multicore(
+        sharded.programs, machine=machine, engine=engine, shared=shared
+    )
+    single_cycles = _scaling_baseline_cycles(workload, params["engine"])
+    speedup = result.speedup_over(single_cycles)
+
+    return {
+        "workload": workload["name"],
+        "kind": workload["kind"],
+        "cores": cores,
+        "strategy": strategy,
+        "core_cycles": result.core_cycles,
+        "single_core_cycles": single_cycles,
+        "speedup": speedup,
+        "efficiency": speedup / cores,
+        "load_imbalance": result.load_imbalance,
+        "bandwidth_utilization": result.bandwidth_utilization,
+        "contended": result.contended,
+        "idle_cores": sum(1 for count in sharded.tiles_per_core if count == 0),
+        "single_core_match": (
+            result.core_cycles == single_cycles if cores == 1 else None
+        ),
+    }
+
+
+@register_experiment(
+    "scaling",
+    "Multi-core scaling: sharded tile grids under shared-L3/DRAM contention",
+)
+def build_scaling(options: Dict[str, Any]) -> ExperimentSpec:
+    smoke = bool(options.get("smoke"))
+    return scaling_spec(
+        workloads=options.get("workloads"),
+        cores=options.get(
+            "cores", SCALING_SMOKE_CORES if smoke else SCALING_CORES
+        ),
+        strategies=options.get(
+            "strategies", SCALING_SMOKE_STRATEGIES if smoke else SCALING_STRATEGIES
+        ),
+        engine_name=options.get("engine", SCALING_ENGINE),
     )
 
 

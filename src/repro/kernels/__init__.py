@@ -7,6 +7,7 @@ Sub-modules:
 * :mod:`repro.kernels.gemm` — dense ``TILE_GEMM`` kernels (Listing 1 and optimised),
 * :mod:`repro.kernels.spmm` — 2:4 / 1:4 / row-wise SPMM kernels,
 * :mod:`repro.kernels.spgemm` — sparse x sparse ``TILE_SPGEMM`` kernels,
+* :mod:`repro.kernels.sharding` — multi-core partitioning of the tiled kernels,
 * :mod:`repro.kernels.vector` — the SIMD baseline kernel of Figure 4,
 * :mod:`repro.kernels.im2col` — convolution-to-GEMM lowering,
 * :mod:`repro.kernels.validate` — functional validation against numpy.
@@ -15,9 +16,16 @@ Sub-modules:
 from .gemm import build_dense_gemm_kernel
 from .im2col import ConvShape, direct_convolution, im2col, weights_to_matrix
 from .program import KernelProgram
+from .sharding import SHARDABLE_KERNELS, ShardedKernel, shard_kernel
 from .spgemm import SPGEMM_PATTERNS, build_spgemm_kernel, spgemm_joint_pattern
 from .spmm import build_rowwise_spmm_kernel, build_spmm_kernel
-from .tiling import MatrixTileLayout, TileGrid, tile_k_for_pattern
+from .tiling import (
+    MatrixTileLayout,
+    PARTITION_STRATEGIES,
+    TileGrid,
+    partition_grid,
+    tile_k_for_pattern,
+)
 from .validate import (
     reference_gemm,
     reference_spgemm,
@@ -31,7 +39,10 @@ __all__ = [
     "ConvShape",
     "KernelProgram",
     "MatrixTileLayout",
+    "PARTITION_STRATEGIES",
+    "SHARDABLE_KERNELS",
     "SPGEMM_PATTERNS",
+    "ShardedKernel",
     "TileGrid",
     "build_dense_gemm_kernel",
     "build_rowwise_spmm_kernel",
@@ -40,9 +51,11 @@ __all__ = [
     "build_vector_gemm_kernel",
     "direct_convolution",
     "im2col",
+    "partition_grid",
     "reference_gemm",
     "reference_spgemm",
     "run_functional",
+    "shard_kernel",
     "spgemm_joint_pattern",
     "tile_k_for_pattern",
     "validate_kernel",

@@ -20,7 +20,7 @@ runtimes can be scaled back up.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,7 +31,14 @@ from ..cpu.trace import TraceOp, branch_op, scalar_op, tile_op
 from ..errors import KernelError
 from ..types import DType, GemmShape, SparsityPattern
 from .program import KernelProgram
-from .tiling import MatrixTileLayout, TILE_M, TILE_N, TileGrid, align_up
+from .tiling import (
+    MatrixTileLayout,
+    TILE_M,
+    TILE_N,
+    TileGrid,
+    align_up,
+    validate_blocks,
+)
 
 #: Scalar/branch overhead charged per K-iteration of the tiled loop nest.
 K_LOOP_SCALARS = 2
@@ -108,6 +115,31 @@ def _fill_dense_operands(
             memory.write_matrix(layouts["b"].tile_address(j, k), tile.T, DType.BF16)
 
 
+def dense_block_grid(grid: TileGrid) -> Tuple[list, list]:
+    """The optimized dense kernel's block grid: 2x2 output-tile blocks.
+
+    Returns the ``(block_rows, block_cols)`` lists of clamped tile-index
+    pairs; block ``(bi, bj)`` of the emission loop covers the (deduplicated)
+    C tiles ``block_rows[bi] x block_cols[bj]``.  The multi-core sharding
+    partitions this grid so a block — the builder's register-blocking unit —
+    is never split across cores.
+    """
+    block_rows = [(i, min(i + 1, grid.tiles_m - 1)) for i in range(0, grid.tiles_m, 2)]
+    block_cols = [(j, min(j + 1, grid.tiles_n - 1)) for j in range(0, grid.tiles_n, 2)]
+    return block_rows, block_cols
+
+
+def _block_tiles(i_pair: Tuple[int, int], j_pair: Tuple[int, int]) -> List[Tuple[int, int, int]]:
+    """Deduplicated (slot, i, j) C tiles of one 2x2 block (edge blocks clamp)."""
+    i0, i1 = i_pair
+    j0, j1 = j_pair
+    tiles: List[Tuple[int, int, int]] = []
+    for slot, (i, j) in enumerate(((i0, j0), (i0, j1), (i1, j0), (i1, j1))):
+        if (i, j) not in [t[1:] for t in tiles]:
+            tiles.append((slot, i, j))
+    return tiles
+
+
 def build_dense_gemm_kernel(
     shape: GemmShape,
     *,
@@ -116,6 +148,7 @@ def build_dense_gemm_kernel(
     variant: str = "optimized",
     include_loop_overhead: bool = True,
     max_output_tiles: Optional[int] = None,
+    blocks: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> KernelProgram:
     """Build a dense (4:4) tiled GEMM kernel.
 
@@ -134,6 +167,13 @@ def build_dense_gemm_kernel(
     max_output_tiles:
         If set, only the first ``max_output_tiles`` C tiles are traced and the
         program's ``simulated_fraction`` records the truncation.
+    blocks:
+        Restrict emission to these block-grid cells (one core's share of a
+        multi-core partition; see :func:`repro.kernels.sharding.shard_kernel`).
+        For ``"optimized"`` a cell indexes the 2x2-tile block grid of
+        :func:`dense_block_grid`; for ``"listing1"`` it is an output-tile
+        coordinate directly.  ``None`` (default) emits the whole kernel and
+        is bit-identical to the pre-sharding builder.
     """
     if variant not in ("optimized", "listing1"):
         raise KernelError(f"unknown GEMM kernel variant {variant!r}")
@@ -153,10 +193,6 @@ def build_dense_gemm_kernel(
         memory = ByteMemory()
         _fill_dense_operands(memory, grid, layouts, a, b)
 
-    total_tiles = grid.output_tiles
-    traced_tiles = total_tiles if max_output_tiles is None else min(
-        max_output_tiles, total_tiles
-    )
     trace: List[TraceOp] = []
     block_starts: List[int] = []
     emitted = 0
@@ -170,82 +206,97 @@ def build_dense_gemm_kernel(
         c_regs = (treg(0), treg(1), treg(2), treg(3))
         a_regs = (treg(4), treg(5))
         b_regs = (treg(6), treg(7))
-        block_rows = [
-            (i, min(i + 1, grid.tiles_m - 1)) for i in range(0, grid.tiles_m, 2)
-        ]
-        block_cols = [
-            (j, min(j + 1, grid.tiles_n - 1)) for j in range(0, grid.tiles_n, 2)
-        ]
-        for i0, i1 in block_rows:
-            for j0, j1 in block_cols:
-                if emitted >= traced_tiles:
-                    break
-                tiles = []
-                for slot, (i, j) in enumerate(
-                    ((i0, j0), (i0, j1), (i1, j0), (i1, j1))
-                ):
-                    if (i, j) not in [t[1:] for t in tiles]:
-                        tiles.append((slot, i, j))
-                emitted += len(tiles)
-                block_starts.append(len(trace))
-                if include_loop_overhead:
-                    trace.extend(
-                        scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS)
+        block_rows, block_cols = dense_block_grid(grid)
+        if blocks is None:
+            chosen = [
+                (bi, bj)
+                for bi in range(len(block_rows))
+                for bj in range(len(block_cols))
+            ]
+        else:
+            chosen = validate_blocks(
+                blocks, len(block_rows), len(block_cols), "dense-gemm"
+            )
+        total_tiles = sum(
+            len(_block_tiles(block_rows[bi], block_cols[bj])) for bi, bj in chosen
+        )
+        traced_tiles = total_tiles if max_output_tiles is None else min(
+            max_output_tiles, total_tiles
+        )
+        for bi, bj in chosen:
+            if emitted >= traced_tiles:
+                break
+            i0, i1 = block_rows[bi]
+            j0, j1 = block_cols[bj]
+            tiles = _block_tiles((i0, i1), (j0, j1))
+            emitted += len(tiles)
+            block_starts.append(len(trace))
+            if include_loop_overhead:
+                trace.extend(
+                    scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS)
+                )
+                trace.append(branch_op("tile-loop"))
+            for slot, i, j in tiles:
+                trace.append(
+                    tile_op(
+                        isa.tile_load_t(
+                            c_regs[slot], layouts["c"].tile_address(i, j), "load C"
+                        )
                     )
-                    trace.append(branch_op("tile-loop"))
-                for slot, i, j in tiles:
+                )
+            for k in range(grid.tiles_k):
+                for index, i in enumerate(dict.fromkeys((i0, i1))):
                     trace.append(
                         tile_op(
                             isa.tile_load_t(
-                                c_regs[slot], layouts["c"].tile_address(i, j), "load C"
+                                a_regs[index], layouts["a"].tile_address(i, k), "load A"
                             )
                         )
                     )
-                for k in range(grid.tiles_k):
-                    for index, i in enumerate(dict.fromkeys((i0, i1))):
-                        trace.append(
-                            tile_op(
-                                isa.tile_load_t(
-                                    a_regs[index], layouts["a"].tile_address(i, k), "load A"
-                                )
+                for index, j in enumerate(dict.fromkeys((j0, j1))):
+                    trace.append(
+                        tile_op(
+                            isa.tile_load_t(
+                                b_regs[index], layouts["b"].tile_address(j, k), "load B"
                             )
                         )
-                    for index, j in enumerate(dict.fromkeys((j0, j1))):
-                        trace.append(
-                            tile_op(
-                                isa.tile_load_t(
-                                    b_regs[index], layouts["b"].tile_address(j, k), "load B"
-                                )
-                            )
-                        )
-                    row_index = {i: idx for idx, i in enumerate(dict.fromkeys((i0, i1)))}
-                    col_index = {j: idx for idx, j in enumerate(dict.fromkeys((j0, j1)))}
-                    for slot, i, j in tiles:
-                        trace.append(
-                            tile_op(
-                                isa.tile_gemm(
-                                    c_regs[slot], a_regs[row_index[i]], b_regs[col_index[j]]
-                                )
-                            )
-                        )
-                    if include_loop_overhead:
-                        trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
-                        trace.append(branch_op("k-loop"))
+                    )
+                row_index = {i: idx for idx, i in enumerate(dict.fromkeys((i0, i1)))}
+                col_index = {j: idx for idx, j in enumerate(dict.fromkeys((j0, j1)))}
                 for slot, i, j in tiles:
                     trace.append(
                         tile_op(
-                            isa.tile_store_t(
-                                layouts["c"].tile_address(i, j), c_regs[slot], "store C"
+                            isa.tile_gemm(
+                                c_regs[slot], a_regs[row_index[i]], b_regs[col_index[j]]
                             )
                         )
                     )
-            if emitted >= traced_tiles:
-                break
+                if include_loop_overhead:
+                    trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
+                    trace.append(branch_op("k-loop"))
+            for slot, i, j in tiles:
+                trace.append(
+                    tile_op(
+                        isa.tile_store_t(
+                            layouts["c"].tile_address(i, j), c_regs[slot], "store C"
+                        )
+                    )
+                )
     else:  # listing1
         c_reg = treg(0)
         a_reg = treg(2)
         b_reg = treg(4)
-        for i, j in grid.iterate_output_tiles():
+        if blocks is None:
+            chosen = list(grid.iterate_output_tiles())
+        else:
+            chosen = validate_blocks(
+                blocks, grid.tiles_m, grid.tiles_n, "dense-gemm-listing1"
+            )
+        total_tiles = len(chosen)
+        traced_tiles = total_tiles if max_output_tiles is None else min(
+            max_output_tiles, total_tiles
+        )
+        for i, j in chosen:
             if emitted >= traced_tiles:
                 break
             emitted += 1
@@ -275,7 +326,7 @@ def build_dense_gemm_kernel(
         pattern=SparsityPattern.DENSE_4_4,
         memory=memory,
         c_layout=layouts["c"],
-        simulated_fraction=traced / total_tiles,
+        simulated_fraction=traced / total_tiles if total_tiles else 1.0,
         label=f"dense-gemm-{variant}",
         block_starts=tuple(block_starts),
     )

@@ -1,0 +1,150 @@
+"""Multi-core sharding of the tiled kernels.
+
+One GEMM/SPMM/SPGEMM problem is split across N simulated cores by
+partitioning the kernel's *block grid* — the builder's register-blocking unit
+(a 2x2 group of C tiles for the dense kernel, an interleaved row-pair x one
+tile column for the sparse kernels) — with one of the
+:data:`~repro.kernels.tiling.PARTITION_STRATEGIES`.  Partitioning whole
+blocks keeps every per-core program a valid instance of its builder: the
+core's trace is exactly what the single-core builder would emit for its share
+of blocks, so the one-core shard is bit-identical to the unsharded kernel and
+the union of all shards covers the output-tile grid exactly once.
+
+The per-core programs are then simulated together by
+:func:`repro.cpu.multicore.simulate_multicore`, which adds the shared-L3 /
+DRAM bandwidth arbitration the private per-core simulators cannot see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import KernelError
+from ..types import GemmShape, SparsityPattern
+from .gemm import build_dense_gemm_kernel, dense_block_grid
+from .program import KernelProgram
+from .spgemm import build_spgemm_kernel
+from .spmm import build_spmm_kernel
+from .tiling import TileGrid, interleaved_block_rows, partition_grid
+
+#: Kernel kinds the sharding layer knows how to build.
+SHARDABLE_KERNELS = ("gemm", "spmm", "spgemm")
+
+
+def _block_grid_shape(kind: str, grid: TileGrid) -> Tuple[int, int]:
+    """(rows, cols) of the kernel's block grid."""
+    if kind == "gemm":
+        block_rows, block_cols = dense_block_grid(grid)
+        return len(block_rows), len(block_cols)
+    return len(interleaved_block_rows(grid.tiles_m)), grid.tiles_n
+
+
+def _block_tile_coords(kind: str, grid: TileGrid, cell: Tuple[int, int]) -> List[Tuple[int, int]]:
+    """Output-tile coordinates covered by one block-grid cell."""
+    if kind == "gemm":
+        block_rows, block_cols = dense_block_grid(grid)
+        i_pair = dict.fromkeys(block_rows[cell[0]])
+        j_pair = dict.fromkeys(block_cols[cell[1]])
+        return [(i, j) for i in i_pair for j in j_pair]
+    i_block = interleaved_block_rows(grid.tiles_m)[cell[0]]
+    return [(i, cell[1]) for i in i_block]
+
+
+@dataclass(frozen=True)
+class ShardedKernel:
+    """The per-core decomposition of one kernel.
+
+    ``programs[c]`` is core ``c``'s :class:`KernelProgram` (possibly with an
+    empty trace when the partition left the core idle), ``blocks[c]`` its
+    block-grid cells and ``tiles[c]`` the output-tile coordinates those cells
+    cover.  ``tiles`` always partitions the full padded output-tile grid.
+    """
+
+    kind: str
+    shape: GemmShape
+    pattern: SparsityPattern
+    strategy: str
+    programs: Tuple[KernelProgram, ...]
+    blocks: Tuple[Tuple[Tuple[int, int], ...], ...]
+    tiles: Tuple[Tuple[Tuple[int, int], ...], ...]
+
+    @property
+    def cores(self) -> int:
+        """Number of simulated cores the kernel was sharded over."""
+        return len(self.programs)
+
+    @property
+    def tiles_per_core(self) -> Tuple[int, ...]:
+        """Output tiles owned by each core (the static load balance)."""
+        return tuple(len(core_tiles) for core_tiles in self.tiles)
+
+
+def shard_kernel(
+    kind: str,
+    shape: GemmShape,
+    pattern: SparsityPattern,
+    cores: int,
+    strategy: str = "row-block",
+    *,
+    include_loop_overhead: bool = True,
+    max_output_tiles: Optional[int] = None,
+) -> ShardedKernel:
+    """Shard one kernel's output-tile grid across ``cores`` simulated cores.
+
+    ``kind`` selects the builder (``"gemm"`` / ``"spmm"`` / ``"spgemm"``);
+    ``pattern`` is the A pattern for SPMM and the joint operand pattern for
+    SPGEMM (ignored for the dense kernel).  With ``cores=1`` the single
+    program is bit-identical to the unsharded builder output.
+    """
+    if kind not in SHARDABLE_KERNELS:
+        raise KernelError(
+            f"unknown kernel kind {kind!r}; expected one of {SHARDABLE_KERNELS}"
+        )
+    grid_pattern = SparsityPattern.DENSE_4_4 if kind == "gemm" else pattern
+    grid = TileGrid(shape=shape, pattern=grid_pattern)
+    rows, cols = _block_grid_shape(kind, grid)
+    assignments = partition_grid(rows, cols, cores, strategy)
+
+    programs: List[KernelProgram] = []
+    tiles: List[Tuple[Tuple[int, int], ...]] = []
+    for core, cells in enumerate(assignments):
+        if kind == "gemm":
+            program = build_dense_gemm_kernel(
+                shape,
+                include_loop_overhead=include_loop_overhead,
+                max_output_tiles=max_output_tiles,
+                blocks=cells,
+            )
+        elif kind == "spmm":
+            program = build_spmm_kernel(
+                shape,
+                pattern,
+                include_loop_overhead=include_loop_overhead,
+                max_output_tiles=max_output_tiles,
+                blocks=cells,
+            )
+        else:
+            program = build_spgemm_kernel(
+                shape,
+                pattern,
+                include_loop_overhead=include_loop_overhead,
+                max_output_tiles=max_output_tiles,
+                blocks=cells,
+            )
+        program.label = f"{program.label}@core{core}/{cores}"
+        programs.append(program)
+        tiles.append(
+            tuple(
+                coord for cell in cells for coord in _block_tile_coords(kind, grid, cell)
+            )
+        )
+    return ShardedKernel(
+        kind=kind,
+        shape=shape,
+        pattern=grid_pattern,
+        strategy=strategy,
+        programs=tuple(programs),
+        blocks=tuple(tuple(cells) for cells in assignments),
+        tiles=tuple(tiles),
+    )

@@ -30,7 +30,7 @@ smaller B footprint and fewer bytes through the cache hierarchy.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +51,7 @@ from .tiling import (
     TileGrid,
     align_up,
     interleaved_block_rows,
+    validate_blocks,
 )
 
 #: Patterns the SPGEMM instructions support as the joint operand pattern.
@@ -189,12 +190,18 @@ def build_spgemm_kernel(
     b: Optional[np.ndarray] = None,
     include_loop_overhead: bool = True,
     max_output_tiles: Optional[int] = None,
+    blocks: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> KernelProgram:
     """Build a sparse x sparse GEMM kernel for a joint 2:4 or 1:4 pattern.
 
     ``pattern`` is the joint N:4 pattern *both* operands satisfy (derive it
     with :func:`spgemm_joint_pattern` when A and B were pruned differently):
     A along its rows, B along its columns (both along the K dimension).
+
+    ``blocks`` restricts emission to the given cells of the kernel's block
+    grid — ``(interleaved row-pair index, output tile column)`` — for one
+    core's share of a multi-core partition; ``None`` emits the full kernel,
+    bit-identically to the pre-sharding builder.
     """
     if pattern not in SPGEMM_PATTERNS:
         raise KernelError(
@@ -241,77 +248,82 @@ def build_spgemm_kernel(
         else isa.tile_spgemm_v
     )
 
-    total_tiles = grid.output_tiles
+    block_rows = interleaved_block_rows(grid.tiles_m)
+    if blocks is None:
+        chosen = [
+            (bi, j) for bi in range(len(block_rows)) for j in range(grid.tiles_n)
+        ]
+    else:
+        chosen = validate_blocks(blocks, len(block_rows), grid.tiles_n, "spgemm")
+    total_tiles = sum(len(block_rows[bi]) for bi, _ in chosen)
     traced_tiles = total_tiles if max_output_tiles is None else min(
         max_output_tiles, total_tiles
     )
     trace: List[TraceOp] = []
     block_starts: List[int] = []
     emitted = 0
-    for i_block in interleaved_block_rows(grid.tiles_m):
-        for j in range(grid.tiles_n):
-            if emitted >= traced_tiles:
-                break
-            emitted += len(i_block)
-            block_starts.append(len(trace))
-            if include_loop_overhead:
-                trace.extend(scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS))
-                trace.append(branch_op("tile-loop"))
+    for bi, j in chosen:
+        if emitted >= traced_tiles:
+            break
+        i_block = block_rows[bi]
+        emitted += len(i_block)
+        block_starts.append(len(trace))
+        if include_loop_overhead:
+            trace.extend(scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS))
+            trace.append(branch_op("tile-loop"))
+        for slot, i in enumerate(i_block):
+            trace.append(
+                tile_op(
+                    isa.tile_load_t(
+                        c_regs[slot], layouts["c"].tile_address(i, j), "load C"
+                    )
+                )
+            )
+        for k in range(grid.tiles_k):
             for slot, i in enumerate(i_block):
                 trace.append(
                     tile_op(
                         isa.tile_load_t(
-                            c_regs[slot], layouts["c"].tile_address(i, j), "load C"
+                            a_regs[slot], layouts["a"].tile_address(i, k), "load A"
                         )
-                    )
-                )
-            for k in range(grid.tiles_k):
-                for slot, i in enumerate(i_block):
-                    trace.append(
-                        tile_op(
-                            isa.tile_load_t(
-                                a_regs[slot], layouts["a"].tile_address(i, k), "load A"
-                            )
-                        )
-                    )
-                    trace.append(
-                        tile_op(
-                            isa.tile_load_m(
-                                mreg(a_regs[slot].index),
-                                layouts["a_metadata"].tile_address(i, k),
-                                "load A-MD",
-                            )
-                        )
-                    )
-                trace.append(
-                    tile_op(
-                        isa.tile_load_t(b_reg, layouts["b"].tile_address(j, k), "load B")
                     )
                 )
                 trace.append(
                     tile_op(
                         isa.tile_load_m(
-                            mreg(b_reg.index),
-                            layouts["b_metadata"].tile_address(j, k),
-                            "load B-MD",
+                            mreg(a_regs[slot].index),
+                            layouts["a_metadata"].tile_address(i, k),
+                            "load A-MD",
                         )
                     )
                 )
-                for slot, i in enumerate(i_block):
-                    trace.append(tile_op(spgemm(c_regs[slot], a_regs[slot], b_reg)))
-                if include_loop_overhead:
-                    trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
-                    trace.append(branch_op("k-loop"))
+            trace.append(
+                tile_op(
+                    isa.tile_load_t(b_reg, layouts["b"].tile_address(j, k), "load B")
+                )
+            )
+            trace.append(
+                tile_op(
+                    isa.tile_load_m(
+                        mreg(b_reg.index),
+                        layouts["b_metadata"].tile_address(j, k),
+                        "load B-MD",
+                    )
+                )
+            )
             for slot, i in enumerate(i_block):
-                trace.append(
-                    tile_op(
-                        isa.tile_store_t(
-                            layouts["c"].tile_address(i, j), c_regs[slot], "store C"
-                        )
+                trace.append(tile_op(spgemm(c_regs[slot], a_regs[slot], b_reg)))
+            if include_loop_overhead:
+                trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
+                trace.append(branch_op("k-loop"))
+        for slot, i in enumerate(i_block):
+            trace.append(
+                tile_op(
+                    isa.tile_store_t(
+                        layouts["c"].tile_address(i, j), c_regs[slot], "store C"
                     )
                 )
-        if emitted >= traced_tiles:
-            break
+            )
 
     traced = emitted if max_output_tiles is not None else total_tiles
     return KernelProgram(
@@ -320,7 +332,7 @@ def build_spgemm_kernel(
         pattern=pattern,
         memory=memory,
         c_layout=layouts["c"],
-        simulated_fraction=traced / total_tiles,
+        simulated_fraction=traced / total_tiles if total_tiles else 1.0,
         label=f"spgemm-{pattern.value}",
         block_starts=tuple(block_starts),
     )

@@ -18,7 +18,7 @@ semantics are exercised.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,6 +47,7 @@ from .tiling import (
     TileGrid,
     align_up,
     interleaved_block_rows,
+    validate_blocks,
 )
 
 
@@ -94,11 +95,17 @@ def build_spmm_kernel(
     b: Optional[np.ndarray] = None,
     include_loop_overhead: bool = True,
     max_output_tiles: Optional[int] = None,
+    blocks: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> KernelProgram:
     """Build a 2:4 or 1:4 structured-sparse SPMM kernel.
 
     The A operand must already satisfy ``pattern`` when data is provided
     (prune it first with :func:`repro.sparse.prune_to_pattern`).
+
+    ``blocks`` restricts emission to the given cells of the kernel's block
+    grid — ``(interleaved row-pair index, output tile column)`` — for one
+    core's share of a multi-core partition; ``None`` emits the full kernel,
+    bit-identically to the pre-sharding builder.
     """
     if pattern not in (SparsityPattern.SPARSE_2_4, SparsityPattern.SPARSE_1_4):
         raise KernelError(
@@ -150,66 +157,71 @@ def build_spmm_kernel(
         load_b = isa.tile_load_v
         spmm = isa.tile_spmm_v
 
-    total_tiles = grid.output_tiles
+    block_rows = interleaved_block_rows(grid.tiles_m)
+    if blocks is None:
+        chosen = [
+            (bi, j) for bi in range(len(block_rows)) for j in range(grid.tiles_n)
+        ]
+    else:
+        chosen = validate_blocks(blocks, len(block_rows), grid.tiles_n, "spmm")
+    total_tiles = sum(len(block_rows[bi]) for bi, _ in chosen)
     traced_tiles = total_tiles if max_output_tiles is None else min(
         max_output_tiles, total_tiles
     )
     trace: List[TraceOp] = []
     block_starts: List[int] = []
     emitted = 0
-    for i_block in interleaved_block_rows(grid.tiles_m):
-        for j in range(grid.tiles_n):
-            if emitted >= traced_tiles:
-                break
-            emitted += len(i_block)
-            block_starts.append(len(trace))
-            if include_loop_overhead:
-                trace.extend(scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS))
-                trace.append(branch_op("tile-loop"))
+    for bi, j in chosen:
+        if emitted >= traced_tiles:
+            break
+        i_block = block_rows[bi]
+        emitted += len(i_block)
+        block_starts.append(len(trace))
+        if include_loop_overhead:
+            trace.extend(scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS))
+            trace.append(branch_op("tile-loop"))
+        for slot, i in enumerate(i_block):
+            trace.append(
+                tile_op(
+                    isa.tile_load_t(
+                        c_regs[slot], layouts["c"].tile_address(i, j), "load C"
+                    )
+                )
+            )
+        for k in range(grid.tiles_k):
             for slot, i in enumerate(i_block):
                 trace.append(
                     tile_op(
                         isa.tile_load_t(
-                            c_regs[slot], layouts["c"].tile_address(i, j), "load C"
+                            a_regs[slot], layouts["a"].tile_address(i, k), "load A"
                         )
                     )
                 )
-            for k in range(grid.tiles_k):
-                for slot, i in enumerate(i_block):
-                    trace.append(
-                        tile_op(
-                            isa.tile_load_t(
-                                a_regs[slot], layouts["a"].tile_address(i, k), "load A"
-                            )
-                        )
-                    )
-                    trace.append(
-                        tile_op(
-                            isa.tile_load_m(
-                                mreg(a_regs[slot].index),
-                                metadata_layout.tile_address(i, k),
-                                "load MD",
-                            )
-                        )
-                    )
-                trace.append(
-                    tile_op(load_b(b_reg, layouts["b"].tile_address(j, k), "load B"))
-                )
-                for slot, i in enumerate(i_block):
-                    trace.append(tile_op(spmm(c_regs[slot], a_regs[slot], b_reg)))
-                if include_loop_overhead:
-                    trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
-                    trace.append(branch_op("k-loop"))
-            for slot, i in enumerate(i_block):
                 trace.append(
                     tile_op(
-                        isa.tile_store_t(
-                            layouts["c"].tile_address(i, j), c_regs[slot], "store C"
+                        isa.tile_load_m(
+                            mreg(a_regs[slot].index),
+                            metadata_layout.tile_address(i, k),
+                            "load MD",
                         )
                     )
                 )
-        if emitted >= traced_tiles:
-            break
+            trace.append(
+                tile_op(load_b(b_reg, layouts["b"].tile_address(j, k), "load B"))
+            )
+            for slot, i in enumerate(i_block):
+                trace.append(tile_op(spmm(c_regs[slot], a_regs[slot], b_reg)))
+            if include_loop_overhead:
+                trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
+                trace.append(branch_op("k-loop"))
+        for slot, i in enumerate(i_block):
+            trace.append(
+                tile_op(
+                    isa.tile_store_t(
+                        layouts["c"].tile_address(i, j), c_regs[slot], "store C"
+                    )
+                )
+            )
 
     traced = emitted if max_output_tiles is not None else total_tiles
     return KernelProgram(
@@ -218,7 +230,7 @@ def build_spmm_kernel(
         pattern=pattern,
         memory=memory,
         c_layout=layouts["c"],
-        simulated_fraction=traced / total_tiles,
+        simulated_fraction=traced / total_tiles if total_tiles else 1.0,
         label=f"spmm-{pattern.value}",
         block_starts=tuple(block_starts),
     )

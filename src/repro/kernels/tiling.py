@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, List, Tuple
 
 from ..errors import KernelError
 from ..types import GemmShape, SparsityPattern, TILE_FP32_COLS, TILE_ROWS
@@ -164,6 +164,101 @@ def align_up(address: int, alignment: int = 4096) -> int:
     if alignment <= 0:
         raise KernelError(f"invalid alignment {alignment}")
     return int(math.ceil(address / alignment) * alignment)
+
+
+#: Partition strategies the multi-core sharding supports.
+#:
+#: * ``"row-block"`` — contiguous bands of grid rows per core (each core owns
+#:   whole output rows, maximising its B reuse across the row),
+#: * ``"column-block"`` — contiguous bands of grid columns per core (whole
+#:   output columns, maximising A reuse down the column),
+#: * ``"2d-cyclic"`` — the cores form a near-square process grid and cells are
+#:   dealt round-robin along both axes (the tiled-MM default: balanced even
+#:   when the grid is much smaller than ``cores`` along one axis).
+PARTITION_STRATEGIES = ("row-block", "column-block", "2d-cyclic")
+
+
+def _process_grid(cores: int) -> Tuple[int, int]:
+    """Near-square (rows, cols) factorisation of ``cores`` for 2D-cyclic."""
+    best = (1, cores)
+    for rows in range(1, int(math.isqrt(cores)) + 1):
+        if cores % rows == 0:
+            best = (rows, cores // rows)
+    return best
+
+
+def _band_bounds(extent: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``extent`` indices into ``parts`` contiguous balanced bands."""
+    base, remainder = divmod(extent, parts)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for part in range(parts):
+        size = base + (1 if part < remainder else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def partition_grid(
+    rows: int, cols: int, cores: int, strategy: str = "row-block"
+) -> List[List[Tuple[int, int]]]:
+    """Assign every cell of a ``rows x cols`` grid to exactly one core.
+
+    Returns one list of ``(row, col)`` cells per core, each in row-major
+    order — the order the kernel builders emit blocks in, so a one-core
+    partition reproduces the unsharded builder iteration exactly.  The
+    partition is always exact: every cell appears in exactly one core's list
+    (cores may receive an empty list when ``cores`` exceeds the grid).
+    """
+    if rows <= 0 or cols <= 0:
+        raise KernelError(f"invalid grid {rows}x{cols}")
+    if cores <= 0:
+        raise KernelError(f"core count must be positive, got {cores}")
+    if strategy not in PARTITION_STRATEGIES:
+        raise KernelError(
+            f"unknown partition strategy {strategy!r}; "
+            f"expected one of {PARTITION_STRATEGIES}"
+        )
+    assignments: List[List[Tuple[int, int]]] = [[] for _ in range(cores)]
+    if strategy == "row-block":
+        for core, (start, end) in enumerate(_band_bounds(rows, cores)):
+            assignments[core] = [
+                (row, col) for row in range(start, end) for col in range(cols)
+            ]
+    elif strategy == "column-block":
+        for core, (start, end) in enumerate(_band_bounds(cols, cores)):
+            assignments[core] = [
+                (row, col) for row in range(rows) for col in range(start, end)
+            ]
+    else:  # 2d-cyclic
+        grid_rows, grid_cols = _process_grid(cores)
+        for row in range(rows):
+            for col in range(cols):
+                core = (row % grid_rows) * grid_cols + (col % grid_cols)
+                assignments[core].append((row, col))
+    return assignments
+
+
+def validate_blocks(blocks, rows: int, cols: int, name: str) -> List[Tuple[int, int]]:
+    """Check a builder's ``blocks`` argument against its block grid.
+
+    Every entry must be an in-range ``(row, col)`` cell and no cell may
+    repeat; the (possibly empty) validated list is returned in the caller's
+    order, which is the emission order of the sharded kernel.
+    """
+    seen = set()
+    validated: List[Tuple[int, int]] = []
+    for block in blocks:
+        row, col = block
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise KernelError(
+                f"{name}: block ({row}, {col}) outside the {rows}x{cols} block grid"
+            )
+        if (row, col) in seen:
+            raise KernelError(f"{name}: block ({row}, {col}) assigned twice")
+        seen.add((row, col))
+        validated.append((row, col))
+    return validated
 
 
 def interleaved_block_rows(tiles_m: int) -> list:

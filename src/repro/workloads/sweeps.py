@@ -33,6 +33,13 @@ SPGEMM_SWEEP_PATTERNS: Tuple[SparsityPattern, ...] = (
     SparsityPattern.SPARSE_1_4,
 )
 
+#: Core counts swept by the multi-core ``scaling`` experiment.
+SCALING_CORES: Tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: Core counts of the ``scaling --smoke`` configuration (the CI sentinel:
+#: one single-core invariant point plus the contended 8-core point).
+SCALING_SMOKE_CORES: Tuple[int, ...] = (1, 8)
+
 
 def spgemm_sweep(
     patterns: Sequence[SparsityPattern] = SPGEMM_SWEEP_PATTERNS,

@@ -1,0 +1,123 @@
+"""Tests for the multi-core ``scaling`` experiment (spec, runner, CLI, cache)."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.figures import (
+    SCALING_ENGINE,
+    SCALING_SMOKE_STRATEGIES,
+    SCALING_SPEC_VERSION,
+    scaling_spec,
+)
+from repro.experiments.registry import get_experiment
+from repro.experiments.runner import run_named
+from repro.workloads.sweeps import SCALING_CORES, SCALING_SMOKE_CORES
+
+#: A single cheap workload for runner-level tests.
+TINY_WORKLOADS = [
+    {
+        "name": "gemm-tiny",
+        "kind": "gemm",
+        "m": 64, "n": 64, "k": 256,
+        "pattern": "4:4",
+        "machine": None,  # replaced in fixture below
+    }
+]
+
+
+@pytest.fixture
+def tiny_workloads():
+    from repro.cpu.params import default_machine
+
+    workload = dict(TINY_WORKLOADS[0])
+    workload["machine"] = default_machine().to_dict()
+    return [workload]
+
+
+class TestSpec:
+    def test_registered(self):
+        experiment = get_experiment("scaling")
+        assert "scaling" in experiment.name
+        assert experiment.reduce is None
+
+    def test_full_spec_axes(self):
+        spec = scaling_spec()
+        assert spec.version == SCALING_SPEC_VERSION
+        assert [w["name"] for w in spec.axes["workload"]] == [
+            "gemm-compute", "gemm-membound", "spmm-2:4", "spgemm-2:4",
+        ]
+        assert tuple(spec.axes["cores"]) == SCALING_CORES
+        assert spec.num_trials == 4 * len(SCALING_CORES) * 3
+
+    def test_smoke_options_shrink_the_sweep(self):
+        spec = get_experiment("scaling").build({"smoke": True})
+        assert tuple(spec.axes["cores"]) == SCALING_SMOKE_CORES
+        assert tuple(spec.axes["strategy"]) == SCALING_SMOKE_STRATEGIES
+        assert spec.fixed["engine"] == SCALING_ENGINE
+
+    def test_spec_is_plain_data(self):
+        # Everything must survive the canonical-JSON round trip for caching.
+        spec = scaling_spec()
+        for trial in spec.trials()[:3]:
+            assert spec.cache_key(trial)
+
+
+class TestRunner:
+    def test_single_workload_sweep(self, tiny_workloads):
+        table = run_named(
+            "scaling",
+            {"workloads": tiny_workloads, "cores": [1, 2], "strategies": ["row-block"]},
+            cache=False,
+        )
+        assert len(table) == 2
+        by_cores = {row["cores"]: row for row in table.rows}
+        assert by_cores[1]["single_core_match"] is True
+        assert by_cores[1]["speedup"] == 1.0
+        assert by_cores[2]["single_core_match"] is None
+        assert 1.0 < by_cores[2]["speedup"] <= 2.0
+        assert by_cores[2]["efficiency"] == by_cores[2]["speedup"] / 2
+
+    def test_results_are_cached(self, tiny_workloads, tmp_path):
+        options = {
+            "workloads": tiny_workloads,
+            "cores": [1],
+            "strategies": ["row-block"],
+        }
+        first = run_named("scaling", options, cache_root=tmp_path)
+        assert first.meta["executed"] == 1
+        second = run_named("scaling", options, cache_root=tmp_path)
+        assert second.meta["cached"] == 1
+        assert second.rows == first.rows
+
+
+class TestCli:
+    def test_run_scaling_smoke(self, capsys, tmp_path):
+        argv = [
+            "run", "scaling", "--smoke",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--format", "csv",
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert lines[0].startswith("workload,kind,cores,strategy,core_cycles")
+        # 4 workloads x 2 core counts x 1 strategy.
+        assert len(lines) == 1 + 8
+        rows = [dict(zip(lines[0].split(","), line.split(","))) for line in lines[1:]]
+        for row in rows:
+            if row["cores"] == "1":
+                assert row["single_core_match"] == "True"
+        membound_8 = next(
+            r for r in rows if r["workload"] == "gemm-membound" and r["cores"] == "8"
+        )
+        compute_8 = next(
+            r for r in rows if r["workload"] == "gemm-compute" and r["cores"] == "8"
+        )
+        # The acceptance-criteria shape: bandwidth-limited vs compute-bound.
+        assert membound_8["contended"] == "True"
+        assert float(membound_8["speedup"]) < 4.0
+        assert float(compute_8["speedup"]) >= 6.0
+
+    def test_scaling_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "scaling" in capsys.readouterr().out

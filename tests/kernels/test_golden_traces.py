@@ -1,0 +1,85 @@
+"""Golden-trace regression tests for every kernel builder.
+
+Each snapshot pins the first ~50 trace ops of one builder in the stable text
+format of :func:`repro.cpu.trace.format_trace`.  A refactor that silently
+reorders, drops or relabels the emitted instructions — which the cycle-level
+tests might absorb into a plausible-looking number — fails loudly here.
+
+Refreshing after an *intentional* trace change::
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/kernels/test_golden_traces.py
+
+then review the diff of ``tests/golden/`` like any other code change.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cpu.trace import format_trace
+from repro.kernels.gemm import build_dense_gemm_kernel
+from repro.kernels.spgemm import build_spgemm_kernel
+from repro.kernels.spmm import build_rowwise_spmm_kernel, build_spmm_kernel
+from repro.kernels.vector import build_vector_gemm_kernel
+from repro.types import GemmShape, SparsityPattern
+from repro.workloads.generator import generate_unstructured
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+#: Ops snapshotted per kernel: enough to cover the prologue, one full
+#: steady-state block and the start of the next.
+SNAPSHOT_OPS = 50
+
+SHAPE = GemmShape(m=64, n=64, k=512)
+
+
+def _rowwise_program():
+    operands = generate_unstructured(GemmShape(m=32, n=32, k=128), 0.8, seed=7)
+    return build_rowwise_spmm_kernel(operands.a, operands.b)
+
+
+#: name -> zero-argument builder of the program to snapshot.
+GOLDEN_KERNELS = {
+    "gemm-optimized": lambda: build_dense_gemm_kernel(SHAPE),
+    "gemm-listing1": lambda: build_dense_gemm_kernel(SHAPE, variant="listing1"),
+    "spmm-2of4": lambda: build_spmm_kernel(SHAPE, SparsityPattern.SPARSE_2_4),
+    "spmm-1of4": lambda: build_spmm_kernel(SHAPE, SparsityPattern.SPARSE_1_4),
+    "spgemm-2of4": lambda: build_spgemm_kernel(SHAPE, SparsityPattern.SPARSE_2_4),
+    "spgemm-1of4": lambda: build_spgemm_kernel(SHAPE, SparsityPattern.SPARSE_1_4),
+    "spmm-rowwise": _rowwise_program,
+    "vector-gemm": lambda: build_vector_gemm_kernel(GemmShape(m=32, n=32, k=64)),
+}
+
+
+def _snapshot(name):
+    program = GOLDEN_KERNELS[name]()
+    header = (
+        f"# kernel: {program.label}\n"
+        f"# trace ops: {len(program.trace)} (first {SNAPSHOT_OPS} shown)\n"
+    )
+    return header + format_trace(program.trace, limit=SNAPSHOT_OPS) + "\n"
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_KERNELS))
+def test_trace_matches_golden_snapshot(name):
+    path = GOLDEN_DIR / f"{name}.txt"
+    rendered = _snapshot(name)
+    if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered, encoding="utf-8")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; generate it with "
+        "REPRO_UPDATE_GOLDEN=1 python -m pytest tests/kernels/test_golden_traces.py"
+    )
+    expected = path.read_text(encoding="utf-8")
+    assert rendered == expected, (
+        f"trace of {name} diverged from tests/golden/{name}.txt; if the "
+        "change is intentional, refresh with REPRO_UPDATE_GOLDEN=1 and "
+        "review the diff"
+    )
+
+
+def test_snapshots_are_deterministic():
+    for name in GOLDEN_KERNELS:
+        assert _snapshot(name) == _snapshot(name)

@@ -1,0 +1,155 @@
+"""Property tests for multi-core sharding: exact coverage and fast==exact.
+
+The coverage property is verified *independently* of the partitioner's own
+bookkeeping: the C tiles each per-core program touches are recovered from the
+``TILE_STORE_T`` addresses in its trace and mapped back to tile coordinates
+through the C layout, so a builder that silently dropped or duplicated a tile
+would fail even if the partition lists looked right.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.runtime import resolve_engine
+from repro.cpu.simulator import CycleApproximateSimulator
+from repro.errors import KernelError
+from repro.kernels.sharding import shard_kernel
+from repro.kernels.tiling import PARTITION_STRATEGIES, TileGrid, partition_grid
+from repro.types import GemmShape, SparsityPattern
+
+ENGINE = resolve_engine("VEGETA-S-16-2+OF+SPGEMM")
+
+KINDS = st.sampled_from(
+    [
+        ("gemm", SparsityPattern.DENSE_4_4),
+        ("spmm", SparsityPattern.SPARSE_2_4),
+        ("spmm", SparsityPattern.SPARSE_1_4),
+        ("spgemm", SparsityPattern.SPARSE_2_4),
+        ("spgemm", SparsityPattern.SPARSE_1_4),
+    ]
+)
+
+
+def stored_tiles(program):
+    """C-tile coordinates recovered from the store addresses of a trace."""
+    layout = program.c_layout
+    tiles = []
+    for op in program.trace:
+        if op.tile is not None and op.tile.opcode.is_store:
+            offset = op.tile.memory.address - layout.base_address
+            assert offset % layout.tile_bytes == 0
+            index = offset // layout.tile_bytes
+            tiles.append(divmod(index, layout.tiles_cols))
+    return tiles
+
+
+class TestPartitionGrid:
+    @given(
+        rows=st.integers(min_value=1, max_value=12),
+        cols=st.integers(min_value=1, max_value=12),
+        cores=st.integers(min_value=1, max_value=20),
+        strategy=st.sampled_from(PARTITION_STRATEGIES),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_cell_assigned_exactly_once(self, rows, cols, cores, strategy):
+        assignments = partition_grid(rows, cols, cores, strategy)
+        assert len(assignments) == cores
+        cells = [cell for share in assignments for cell in share]
+        assert len(cells) == rows * cols
+        assert set(cells) == {(r, c) for r in range(rows) for c in range(cols)}
+
+    @given(
+        rows=st.integers(min_value=1, max_value=12),
+        cols=st.integers(min_value=1, max_value=12),
+        strategy=st.sampled_from(PARTITION_STRATEGIES),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_one_core_partition_is_row_major(self, rows, cols, strategy):
+        (share,) = partition_grid(rows, cols, 1, strategy)
+        assert share == [(r, c) for r in range(rows) for c in range(cols)]
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(KernelError):
+            partition_grid(0, 4, 2)
+        with pytest.raises(KernelError):
+            partition_grid(4, 4, 0)
+        with pytest.raises(KernelError):
+            partition_grid(4, 4, 2, "diagonal")
+
+
+class TestShardCoverage:
+    @given(
+        kind_pattern=KINDS,
+        m_tiles=st.integers(min_value=1, max_value=6),
+        n_tiles=st.integers(min_value=1, max_value=6),
+        k_tiles=st.integers(min_value=1, max_value=2),
+        cores=st.integers(min_value=1, max_value=6),
+        strategy=st.sampled_from(PARTITION_STRATEGIES),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shards_cover_output_grid_exactly_once(
+        self, kind_pattern, m_tiles, n_tiles, k_tiles, cores, strategy
+    ):
+        kind, pattern = kind_pattern
+        grid_pattern = SparsityPattern.DENSE_4_4 if kind == "gemm" else pattern
+        tile_k = 32 * grid_pattern.compression_ratio
+        shape = GemmShape(m=m_tiles * 16, n=n_tiles * 16, k=k_tiles * tile_k)
+        sharded = shard_kernel(kind, shape, pattern, cores, strategy)
+
+        grid = TileGrid(shape=shape, pattern=grid_pattern)
+        expected = {
+            (i, j) for i in range(grid.tiles_m) for j in range(grid.tiles_n)
+        }
+        # The partitioner's own bookkeeping covers the grid exactly once...
+        owned = [tile for share in sharded.tiles for tile in share]
+        assert len(owned) == len(expected)
+        assert set(owned) == expected
+        # ...and so do the C tiles actually stored by the emitted traces.
+        stored = [
+            tile for program in sharded.programs for tile in stored_tiles(program)
+        ]
+        assert len(stored) == len(expected)
+        assert set(stored) == expected
+
+    @given(
+        kind_pattern=KINDS,
+        cores=st.integers(min_value=2, max_value=5),
+        strategy=st.sampled_from(PARTITION_STRATEGIES),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_one_core_shard_is_bit_identical_to_builder(
+        self, kind_pattern, cores, strategy
+    ):
+        kind, pattern = kind_pattern
+        shape = GemmShape(m=64, n=64, k=256)
+        single = shard_kernel(kind, shape, pattern, 1, strategy).programs[0]
+        parts = shard_kernel(kind, shape, pattern, cores, strategy).programs
+        # Concatenating a partition's traces must reproduce the single-core
+        # instruction mix (the op multiset, not the order across cores).
+        assert sum(len(program.trace) for program in parts) == len(single.trace)
+
+
+class TestFastMatchesExact:
+    @given(
+        kind_pattern=KINDS,
+        m_tiles=st.integers(min_value=2, max_value=5),
+        n_tiles=st.integers(min_value=2, max_value=5),
+        cores=st.integers(min_value=1, max_value=4),
+        strategy=st.sampled_from(PARTITION_STRATEGIES),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_per_core_fast_cycles_match_exact_bit_for_bit(
+        self, kind_pattern, m_tiles, n_tiles, cores, strategy
+    ):
+        kind, pattern = kind_pattern
+        grid_pattern = SparsityPattern.DENSE_4_4 if kind == "gemm" else pattern
+        tile_k = 32 * grid_pattern.compression_ratio
+        shape = GemmShape(m=m_tiles * 16, n=n_tiles * 16, k=4 * tile_k)
+        sharded = shard_kernel(kind, shape, pattern, cores, strategy)
+        fast_sim = CycleApproximateSimulator(engine=ENGINE, mode="fast")
+        exact_sim = CycleApproximateSimulator(engine=ENGINE, mode="exact")
+        for program in sharded.programs:
+            fast = fast_sim.run(program.trace, block_starts=program.block_starts)
+            exact = exact_sim.run(program.trace)
+            assert fast.core_cycles == exact.core_cycles
+            assert fast.memory_counters == exact.memory_counters
