@@ -124,6 +124,18 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the scaled-down smoke workload set",
     )
+    bench.add_argument(
+        "--check",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="BASELINE",
+        help=(
+            "compare against a committed baseline payload (default: the "
+            "repo-root BENCH_simulator.json) and fail on >30%% throughput "
+            "regression"
+        ),
+    )
     return parser
 
 
@@ -187,30 +199,47 @@ def _command_bench(args: argparse.Namespace) -> int:
     from .analysis.bench import (
         DEFAULT_BENCH_PATH,
         DEFAULT_WORKLOADS,
+        QUICK_MULTICORE_WORKLOADS,
         QUICK_WORKLOADS,
         BenchWorkload,
         benchmark_simulator,
+        compare_benchmarks,
+        load_benchmark,
         parse_shape,
         write_benchmark,
     )
     from .types import SparsityPattern
 
+    multicore_workloads = None
+    full_suite = args.shape is None and not args.quick
     if args.shape is not None:
         shape = parse_shape(args.shape)
         workloads = (
             BenchWorkload(
-                name=f"dense-{shape.m}x{shape.n}x{shape.k}",
+                # The engine is part of the name so `--check` can never match
+                # this row against a committed default-engine measurement of
+                # the same shape.
+                name=f"dense-{shape.m}x{shape.n}x{shape.k}-{args.engine}",
                 shape=shape,
                 pattern=SparsityPattern.DENSE_4_4,
                 engine_name=args.engine,
             ),
         )
+        multicore_workloads = ()
     elif args.quick:
         workloads = QUICK_WORKLOADS
+        multicore_workloads = QUICK_MULTICORE_WORKLOADS
     else:
         workloads = DEFAULT_WORKLOADS
 
-    payload = benchmark_simulator(workloads)
+    baseline = None
+    if args.check is not None:
+        # Read (and validate) the baseline before the benchmark runs, so a
+        # missing baseline fails fast and the write below cannot shadow it.
+        baseline_path = args.check or DEFAULT_BENCH_PATH
+        baseline = load_benchmark(baseline_path)
+
+    payload = benchmark_simulator(workloads, multicore_workloads)
     rows = [
         (
             row["name"],
@@ -234,9 +263,50 @@ def _command_bench(args: argparse.Namespace) -> int:
         f"(min {payload['speedup_min']:.1f}x, "
         f"max cycle error {payload['max_cycle_error']:.2e})"
     )
-    out = args.out if args.out is not None else DEFAULT_BENCH_PATH
-    write_benchmark(payload, out)
-    print(f"wrote {out}", file=sys.stderr)
+    if payload.get("multicore_workloads"):
+        multicore_rows = [
+            (
+                row["name"],
+                f"{row['cores']}",
+                row["strategy"],
+                f"{row['nomemo_ops_per_sec']:,.0f}",
+                f"{row['memo_ops_per_sec']:,.0f}",
+                f"{row['memo_speedup']:.1f}x",
+                "yes" if row["cycle_match"] else "NO",
+            )
+            for row in payload["multicore_workloads"]
+        ]
+        print(
+            format_table(
+                "multi-core trace-op throughput (block memoization)",
+                ("workload", "cores", "strategy", "no-memo ops/s", "memo ops/s", "speedup", "cycles match"),
+                multicore_rows,
+            )
+        )
+        print(
+            f"multicore geomean memo speedup: "
+            f"{payload['multicore_memo_speedup_geomean']:.1f}x"
+        )
+    regressions = []
+    if baseline is not None:
+        regressions = compare_benchmarks(payload, baseline)
+    # Only a full-suite run may update the committed repo-root baseline by
+    # default; --quick / --shape subsets need an explicit --out so they can
+    # never silently replace it with a partial payload, and a failed --check
+    # never overwrites the baseline it just regressed against.
+    out = args.out if args.out is not None else (DEFAULT_BENCH_PATH if full_suite else None)
+    if out is not None and (args.out is not None or not regressions):
+        write_benchmark(payload, out)
+        print(f"wrote {out}", file=sys.stderr)
+    else:
+        print("payload not written (pass --out to keep it)", file=sys.stderr)
+    if regressions:
+        print(f"throughput regressions vs {baseline_path}:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    if baseline is not None:
+        print(f"no throughput regression vs {baseline_path}", file=sys.stderr)
     return 0
 
 

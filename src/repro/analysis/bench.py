@@ -1,11 +1,13 @@
 """Simulator throughput benchmark (``python -m repro bench``).
 
 Measures trace-op throughput of the cycle-approximate simulator's exact and
-fast paths on representative kernel workloads and cross-checks that both
-paths agree on cycle counts.  The CLI writes the measurements to
-``BENCH_simulator.json`` so the performance trajectory of the hottest path
-in the repository is tracked from PR to PR (CI uploads the file as an
-artifact).
+fast paths on representative kernel workloads, plus the multi-core path with
+and without block-signature memoization, and cross-checks that all paths
+agree on cycle counts.  The CLI writes the measurements to
+``BENCH_simulator.json`` in the repository root so the performance trajectory
+of the hottest path in the repository is tracked from PR to PR (the file is
+committed, CI uploads it as an artifact, and ``repro bench --check`` fails
+when throughput regresses more than 30% against the committed baseline).
 """
 
 from __future__ import annotations
@@ -14,35 +16,62 @@ import json
 import platform
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.engine import EngineConfig
+from ..cpu.multicore import clear_simulation_memo, simulate_multicore
 from ..cpu.simulator import CycleApproximateSimulator
 from ..errors import ConfigurationError
 from ..kernels.gemm import build_dense_gemm_kernel
 from ..kernels.program import KernelProgram
+from ..kernels.sharding import shard_kernel
+from ..kernels.spgemm import build_spgemm_kernel
 from ..kernels.spmm import build_spmm_kernel
 from ..types import GemmShape, SparsityPattern
 from .runtime import resolve_engine
 
 #: Schema version of the emitted JSON payload.
-BENCH_SCHEMA_VERSION = 1
+#: v2: multicore memoization rows, per-workload ``trace_ops_per_sec``, and
+#: the repo-root default output path.
+BENCH_SCHEMA_VERSION = 2
 
-#: Default output file name.
-DEFAULT_BENCH_PATH = "BENCH_simulator.json"
+def _default_bench_path() -> str:
+    """The repo-root payload path, regardless of the CLI's CWD.
+
+    With a src-layout checkout (editable install / ``PYTHONPATH=src``) the
+    repository root is three levels above this module
+    (``src/repro/analysis`` -> repo root), recognisable by its
+    ``pyproject.toml``.  For a plain site-packages install there is no repo
+    root to anchor to, so the CWD is used.
+    """
+    root = Path(__file__).resolve().parents[3]
+    if (root / "pyproject.toml").exists():
+        return str(root / "BENCH_simulator.json")
+    return "BENCH_simulator.json"
+
+
+#: Default output file (resolved once at import).
+DEFAULT_BENCH_PATH = _default_bench_path()
+
+#: Throughput-regression gate of ``repro bench --check``.
+REGRESSION_THRESHOLD = 0.30
 
 
 @dataclass(frozen=True)
 class BenchWorkload:
-    """One simulator benchmark point: a kernel plus the engine that runs it."""
+    """One single-core benchmark point: a kernel plus the engine that runs it."""
 
     name: str
     shape: GemmShape
     pattern: SparsityPattern
     engine_name: str
+    kind: str = "auto"
 
     def build(self) -> KernelProgram:
         """Generate the untruncated kernel trace for this workload."""
+        if self.kind == "spgemm":
+            return build_spgemm_kernel(self.shape, self.pattern)
         if self.pattern is SparsityPattern.DENSE_4_4:
             return build_dense_gemm_kernel(self.shape)
         return build_spmm_kernel(self.shape, self.pattern)
@@ -52,8 +81,26 @@ class BenchWorkload:
         return resolve_engine(self.engine_name)
 
 
-#: The benchmark workloads: a long dense K-loop kernel (the Figure 13 hot
-#: path) and a structured-sparse kernel with output forwarding.
+@dataclass(frozen=True)
+class MulticoreBenchWorkload:
+    """One multi-core benchmark point: a sharded kernel under the arbiter."""
+
+    name: str
+    kind: str
+    shape: GemmShape
+    pattern: SparsityPattern
+    engine_name: str
+    cores: int
+    strategy: str
+
+    def engine(self) -> EngineConfig:
+        return resolve_engine(self.engine_name)
+
+
+#: The single-core benchmark workloads: a long dense K-loop kernel (the
+#: Figure 13 hot path), a structured-sparse kernel with output forwarding, a
+#: sparse x sparse kernel (stream-merge feed overhead), and the quick-suite
+#: dense point so ``--quick --check`` compares like against like.
 DEFAULT_WORKLOADS = (
     BenchWorkload(
         name="dense-512x512x1024",
@@ -67,16 +114,71 @@ DEFAULT_WORKLOADS = (
         pattern=SparsityPattern.SPARSE_2_4,
         engine_name="VEGETA-S-16-2+OF",
     ),
-)
-
-#: Scaled-down workloads for smoke tests (enough blocks to skip, small ops).
-QUICK_WORKLOADS = (
+    BenchWorkload(
+        name="spgemm-2:4-256x256x1024",
+        shape=GemmShape(256, 256, 1024),
+        pattern=SparsityPattern.SPARSE_2_4,
+        engine_name="VEGETA-S-16-2+OF+SPGEMM",
+        kind="spgemm",
+    ),
     BenchWorkload(
         name="dense-256x256x512",
         shape=GemmShape(256, 256, 512),
         pattern=SparsityPattern.DENSE_4_4,
         engine_name="VEGETA-D-1-2",
     ),
+)
+
+#: The multi-core workloads: the scaling sweep's hot shapes, sharded.
+DEFAULT_MULTICORE_WORKLOADS = (
+    MulticoreBenchWorkload(
+        name="mc-gemm-16x-row-block",
+        kind="gemm",
+        shape=GemmShape(256, 256, 1024),
+        pattern=SparsityPattern.DENSE_4_4,
+        engine_name="VEGETA-S-16-2+OF+SPGEMM",
+        cores=16,
+        strategy="row-block",
+    ),
+    MulticoreBenchWorkload(
+        name="mc-spmm-2:4-8x-column-block",
+        kind="spmm",
+        shape=GemmShape(256, 256, 1024),
+        pattern=SparsityPattern.SPARSE_2_4,
+        engine_name="VEGETA-S-16-2+OF+SPGEMM",
+        cores=8,
+        strategy="column-block",
+    ),
+    MulticoreBenchWorkload(
+        name="mc-spgemm-2:4-16x-2d-cyclic",
+        kind="spgemm",
+        shape=GemmShape(256, 256, 1024),
+        pattern=SparsityPattern.SPARSE_2_4,
+        engine_name="VEGETA-S-16-2+OF+SPGEMM",
+        cores=16,
+        strategy="2d-cyclic",
+    ),
+    MulticoreBenchWorkload(
+        name="mc-gemm-8x-row-block-512",
+        kind="gemm",
+        shape=GemmShape(256, 256, 512),
+        pattern=SparsityPattern.DENSE_4_4,
+        engine_name="VEGETA-S-16-2+OF+SPGEMM",
+        cores=8,
+        strategy="row-block",
+    ),
+)
+
+#: Scaled-down workloads for smoke runs — strict subsets of the default
+#: suites (matched by name, pinned by tests), so ``--quick --check`` can
+#: compare by name against the committed full-suite baseline.
+QUICK_WORKLOADS = tuple(
+    workload for workload in DEFAULT_WORKLOADS if workload.name == "dense-256x256x512"
+)
+QUICK_MULTICORE_WORKLOADS = tuple(
+    workload
+    for workload in DEFAULT_MULTICORE_WORKLOADS
+    if workload.name == "mc-gemm-8x-row-block-512"
 )
 
 
@@ -128,20 +230,85 @@ def benchmark_workload(workload: BenchWorkload) -> Dict[str, Any]:
         "exact_core_cycles": exact.core_cycles,
         "fast_seconds": fast_seconds,
         "fast_ops_per_sec": len(trace) / fast_seconds,
+        "trace_ops_per_sec": len(trace) / fast_seconds,
         "fast_core_cycles": fast.core_cycles,
         "speedup": exact_seconds / fast_seconds,
         "cycle_error": cycle_error,
     }
 
 
+def benchmark_multicore_workload(workload: MulticoreBenchWorkload) -> Dict[str, Any]:
+    """Measure one sharded workload with and without block memoization.
+
+    Trace-op throughput counts every core's ops over the wall-clock of the
+    whole ``simulate_multicore`` call — the memoized path does not step the
+    replayed cores at all, which is exactly the effect being measured.  The
+    memoized and unmemoized makespans are cross-checked for bit-equality.
+    """
+    engine = workload.engine()
+    build_started = time.perf_counter()
+    sharded = shard_kernel(
+        workload.kind, workload.shape, workload.pattern, workload.cores, workload.strategy
+    )
+    build_seconds = time.perf_counter() - build_started
+    trace_ops = sum(len(program.trace) for program in sharded.programs)
+
+    clear_simulation_memo()
+    started = time.perf_counter()
+    nomemo = simulate_multicore(sharded.programs, engine=engine, memo=False)
+    nomemo_seconds = time.perf_counter() - started
+
+    clear_simulation_memo()
+    started = time.perf_counter()
+    memo = simulate_multicore(sharded.programs, engine=engine, memo=True)
+    memo_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    simulate_multicore(sharded.programs, engine=engine, memo=True)
+    memo_warm_seconds = time.perf_counter() - started
+    clear_simulation_memo()
+
+    return {
+        "name": workload.name,
+        "kind": workload.kind,
+        "shape": [workload.shape.m, workload.shape.n, workload.shape.k],
+        "pattern": workload.pattern.value,
+        "engine": workload.engine_name,
+        "cores": workload.cores,
+        "strategy": workload.strategy,
+        "trace_ops": trace_ops,
+        "build_seconds": build_seconds,
+        "nomemo_seconds": nomemo_seconds,
+        "nomemo_ops_per_sec": trace_ops / nomemo_seconds,
+        "memo_seconds": memo_seconds,
+        "memo_ops_per_sec": trace_ops / memo_seconds,
+        "trace_ops_per_sec": trace_ops / memo_seconds,
+        "memo_warm_seconds": memo_warm_seconds,
+        "memo_warm_ops_per_sec": trace_ops / memo_warm_seconds,
+        "memo_speedup": nomemo_seconds / memo_seconds,
+        "makespan_cycles": memo.core_cycles,
+        "makespan_cycles_per_sec": memo.core_cycles / memo_seconds,
+        "cycle_match": memo.core_cycles == nomemo.core_cycles,
+    }
+
+
 def benchmark_simulator(
     workloads: Optional[Sequence[BenchWorkload]] = None,
+    multicore_workloads: Optional[Sequence[MulticoreBenchWorkload]] = None,
 ) -> Dict[str, Any]:
     """Run the simulator benchmark suite and return the JSON-ready payload."""
     chosen = list(workloads) if workloads is not None else list(DEFAULT_WORKLOADS)
+    chosen_multicore = (
+        list(multicore_workloads)
+        if multicore_workloads is not None
+        else list(DEFAULT_MULTICORE_WORKLOADS)
+    )
     rows: List[Dict[str, Any]] = [benchmark_workload(workload) for workload in chosen]
+    multicore_rows: List[Dict[str, Any]] = [
+        benchmark_multicore_workload(workload) for workload in chosen_multicore
+    ]
     speedups = [row["speedup"] for row in rows]
-    return {
+    payload: Dict[str, Any] = {
         "schema": BENCH_SCHEMA_VERSION,
         "python": platform.python_version(),
         "workloads": rows,
@@ -151,6 +318,63 @@ def benchmark_simulator(
         "speedup_min": min(speedups),
         "max_cycle_error": max(row["cycle_error"] for row in rows),
     }
+    if multicore_rows:
+        payload["multicore_workloads"] = multicore_rows
+        payload["multicore_nomemo_ops_per_sec"] = _geomean(
+            [row["nomemo_ops_per_sec"] for row in multicore_rows]
+        )
+        payload["multicore_memo_ops_per_sec"] = _geomean(
+            [row["memo_ops_per_sec"] for row in multicore_rows]
+        )
+        payload["multicore_memo_speedup_geomean"] = _geomean(
+            [row["memo_speedup"] for row in multicore_rows]
+        )
+        payload["multicore_makespan_cycles_per_sec"] = _geomean(
+            [row["makespan_cycles_per_sec"] for row in multicore_rows]
+        )
+        payload["multicore_cycle_match"] = all(
+            row["cycle_match"] for row in multicore_rows
+        )
+    return payload
+
+
+def compare_benchmarks(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> List[str]:
+    """Per-workload throughput regressions of ``current`` vs ``baseline``.
+
+    Workloads are matched by name across both the single-core and multi-core
+    suites (so a ``--quick`` run checks against a committed full-suite
+    baseline); a regression is a throughput drop of more than ``threshold``.
+    Returns human-readable regression descriptions (empty = pass).
+    """
+    regressions: List[str] = []
+
+    def check(name: str, metric: str, now: float, then: float) -> None:
+        if then > 0 and now < then * (1.0 - threshold):
+            regressions.append(
+                f"{name}: {metric} {now:,.0f}/s vs baseline {then:,.0f}/s "
+                f"({now / then - 1.0:+.0%})"
+            )
+
+    for suite, metric in (("workloads", "fast_ops_per_sec"), ("multicore_workloads", "memo_ops_per_sec")):
+        baseline_rows = {row["name"]: row for row in baseline.get(suite, [])}
+        for row in current.get(suite, []):
+            reference = baseline_rows.get(row["name"])
+            if reference is not None and metric in reference:
+                check(row["name"], metric, row[metric], reference[metric])
+    return regressions
+
+
+def load_benchmark(path: str) -> Dict[str, Any]:
+    """Read a benchmark payload written by :func:`write_benchmark`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ConfigurationError(f"{path} does not hold a benchmark payload")
+    return payload
 
 
 def write_benchmark(payload: Dict[str, Any], path: str = DEFAULT_BENCH_PATH) -> None:

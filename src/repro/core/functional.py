@@ -176,7 +176,13 @@ class FunctionalMachine:
     def _expand_sparse_a(
         self, a_ref: RegisterRef, pattern: SparsityPattern
     ) -> np.ndarray:
-        """Decompress the sparse A operand to its effective dense form."""
+        """Decompress the sparse A operand to its effective dense form.
+
+        One vectorised scatter: stored column ``block * n + slot`` lands in
+        effective column ``block * 4 + metadata_index``.  Zero stored values
+        are masked out (they carry no metadata guarantee), matching the
+        scalar reference loop element for element.
+        """
         stored = self.registers.read_matrix(a_ref, DType.BF16)  # 16 x 32
         metadata_bytes = self.registers.read_bytes(mreg(a_ref.index))
         indices = sparse_metadata.unpack_indices(
@@ -185,15 +191,17 @@ class FunctionalMachine:
         effective_cols = TILE_BF16_COLS * pattern.compression_ratio
         dense = np.zeros((TILE_ROWS, effective_cols), dtype=np.float32)
         n = pattern.n
-        blocks = effective_cols // BLOCK_SIZE_M
-        for row in range(TILE_ROWS):
-            for block in range(blocks):
-                base = block * BLOCK_SIZE_M
-                for slot in range(n):
-                    stored_col = block * n + slot
-                    value = stored[row, stored_col]
-                    if value != 0.0:
-                        dense[row, base + int(indices[row, stored_col])] = value
+        used = (effective_cols // BLOCK_SIZE_M) * n  # stored columns per row
+        values = stored[:, :used]
+        targets = (
+            (np.arange(used, dtype=np.int64) // n) * BLOCK_SIZE_M
+            + indices[:, :used].astype(np.int64)
+        )
+        mask = values != 0.0
+        rows = np.broadcast_to(
+            np.arange(TILE_ROWS, dtype=np.int64)[:, None], values.shape
+        )
+        dense[rows[mask], targets[mask]] = values[mask]
         return dense
 
     def _execute_spmm_fixed(
@@ -259,22 +267,28 @@ class FunctionalMachine:
                 f"TILE_SPMM_R supports 1..{2 * TILE_ROWS} rows, got {rows}"
             )
         dense_a = np.zeros((rows, effective_cols), dtype=np.float32)
-        cursor = 0
-        for row, pattern in enumerate(patterns):
-            n = pattern.n
-            stored_per_row = effective_cols // BLOCK_SIZE_M * n
-            if cursor + stored_per_row > stored_flat.size:
-                raise ExecutionError(
-                    "row-wise A tile overflows the 512 stored values of a treg"
-                )
-            for block in range(effective_cols // BLOCK_SIZE_M):
-                base = block * BLOCK_SIZE_M
-                for slot in range(n):
-                    stored_index = cursor + block * n + slot
-                    value = stored_flat[stored_index]
-                    if value != 0.0:
-                        dense_a[row, base + int(indices_flat[stored_index])] = value
-            cursor += stored_per_row
+        # Vectorised scatter over the packed per-row regions: row ``r`` owns
+        # stored slots ``[starts[r], starts[r] + blocks * n_r)``; slot ``k``
+        # of that region lands in effective column ``(k // n_r) * 4 + index``.
+        blocks = effective_cols // BLOCK_SIZE_M
+        row_n = np.array([pattern.n for pattern in patterns], dtype=np.int64)
+        stored_per_row = blocks * row_n
+        ends = np.cumsum(stored_per_row)
+        if ends[-1] > stored_flat.size:
+            raise ExecutionError(
+                "row-wise A tile overflows the 512 stored values of a treg"
+            )
+        cursor = int(ends[-1])
+        row_of = np.repeat(np.arange(rows, dtype=np.int64), stored_per_row)
+        local = np.arange(cursor, dtype=np.int64) - np.repeat(
+            ends - stored_per_row, stored_per_row
+        )
+        targets = (local // row_n[row_of]) * BLOCK_SIZE_M + indices_flat[
+            :cursor
+        ].astype(np.int64)
+        values = stored_flat[:cursor]
+        mask = values != 0.0
+        dense_a[row_of[mask], targets[mask]] = values[mask]
         # B: 64 x 16, stored transposed in a ureg as 16 x 64.
         b_bytes = self.registers.read_bytes(instruction.src_b)
         raw = np.frombuffer(b_bytes, dtype=np.uint16).astype(np.uint32) << 16

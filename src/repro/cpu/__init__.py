@@ -6,17 +6,23 @@ Sub-modules:
 * :mod:`repro.cpu.cache` — set-associative caches and the two-level hierarchy,
 * :mod:`repro.cpu.memory` — the memory system with bandwidth accounting,
 * :mod:`repro.cpu.trace` — dynamic instruction traces (the Pin-tool replacement),
+* :mod:`repro.cpu.columnar` — the columnar (structured-array) trace format,
 * :mod:`repro.cpu.simulator` — the trace-driven simulator,
-* :mod:`repro.cpu.multicore` — N-core simulation with shared-L3/DRAM arbitration.
+* :mod:`repro.cpu.multicore` — N-core simulation with shared-L3/DRAM
+  arbitration and block-signature memoization.
 """
 
 from .cache import AccessResult, Cache, CacheHierarchy, CacheStats
+from .columnar import ColumnarTrace, TraceBuilder
 from .memory import MemoryRequestResult, MemorySystem
 from .multicore import (
     MulticoreSimulationResult,
     SharedMemoryParams,
     arbitrate_bandwidth,
+    clear_simulation_memo,
     simulate_multicore,
+    simulate_program_cached,
+    simulation_cache_key,
 )
 from .params import CacheParams, CoreParams, MachineParams, MemoryParams, default_machine
 from .simulator import CycleApproximateSimulator, SimulationResult

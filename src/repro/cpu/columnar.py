@@ -1,0 +1,805 @@
+"""Columnar trace representation: NumPy structured arrays as the trace format.
+
+The kernel builders used to materialise one :class:`~repro.cpu.trace.TraceOp`
+(and, for tile ops, one :class:`~repro.core.isa.Instruction`) per dynamic
+instruction.  Python object construction dominated the build time of every
+sweep, and every consumer that needed a whole-trace view — signature
+lowering, instruction-mix summaries, memory footprints — re-walked the ops in
+Python loops.
+
+This module stores a trace as one structured NumPy array (:data:`TRACE_DTYPE`)
+plus a small label table.  Builders append plain integer rows through a
+:class:`TraceBuilder`; :class:`ColumnarTrace` then answers the whole-trace
+questions as vectorised array operations:
+
+* ``signature_ids`` — the per-op timing signature of
+  :func:`repro.cpu.fastsim.op_signature` lowered to an ``int64`` id array in
+  one shot (ids are *content-derived*: the packed signature word is
+  factorised and remapped to first-appearance order, so equal ops get equal
+  ids in every process and every run — no interning table whose order could
+  depend on construction history),
+* ``summarize`` / ``summarize_span`` — instruction-mix summaries via
+  ``bincount``,
+* ``memory_regions`` / ``footprint_line_numbers`` — unique regions / cache
+  lines via ``np.unique`` over the address column,
+* ``simulation_key`` — a content hash of everything that can influence a
+  simulation's outcome, with raw addresses *normalized out* (only the
+  cache-line collision structure they induce is kept).  Two traces with equal
+  keys are simulated bit-identically by the cycle simulator, which is what
+  licenses the cross-core block memoization in
+  :mod:`repro.cpu.multicore`.
+
+:class:`TraceOp` objects are still the unit the per-op simulator loop
+executes; a :class:`ColumnarTrace` materialises them lazily (and caches the
+list), so traces that are never stepped — e.g. the memoized cores 2..N of a
+sharded kernel — never pay for object construction at all.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core import isa
+from ..core.isa import Instruction, Opcode
+from ..core.registers import RegisterRef
+from ..errors import SimulationError
+from .trace import (
+    TraceOp,
+    TraceOpKind,
+    TraceSummary,
+    branch_op,
+    scalar_op,
+    tile_op,
+    vector_fma,
+    vector_load,
+    vector_store,
+)
+
+#: Bump when the simulation-key derivation changes meaning (invalidates every
+#: persisted block-result cache entry at once).
+SIMULATION_KEY_SCHEMA = "1"
+
+#: The columnar trace record.  ``opcode`` is -1 for non-tile ops; ``dst`` /
+#: ``src_a`` / ``src_b`` hold encoded register references (-1 for none);
+#: ``address`` is -1 for non-memory ops; ``nbytes`` is the op's memory
+#: transfer size (0 for non-memory ops); ``oplabel`` / ``ilabel`` index the
+#: label table (the trace-op label used by signatures, and the instruction /
+#: memory-operand label used only when materialising objects).
+TRACE_DTYPE = np.dtype(
+    [
+        ("kind", np.int8),
+        ("opcode", np.int16),
+        ("dst", np.int32),
+        ("src_a", np.int32),
+        ("src_b", np.int32),
+        ("address", np.int64),
+        ("nbytes", np.int32),
+        ("oplabel", np.int32),
+        ("ilabel", np.int32),
+    ]
+)
+
+#: Stable numeric codes, fixed by enum definition order (code-defined, so the
+#: mapping is identical in every process — unlike ``hash()`` of an enum).
+KIND_CODES: Dict[TraceOpKind, int] = {
+    kind: code for code, kind in enumerate(TraceOpKind)
+}
+KINDS_BY_CODE: Tuple[TraceOpKind, ...] = tuple(TraceOpKind)
+OPCODE_CODES: Dict[Opcode, int] = {op: code for code, op in enumerate(Opcode)}
+OPCODES_BY_CODE: Tuple[Opcode, ...] = tuple(Opcode)
+
+_KIND_TILE = KIND_CODES[TraceOpKind.TILE]
+_KIND_VLOAD = KIND_CODES[TraceOpKind.VECTOR_LOAD]
+_KIND_VSTORE = KIND_CODES[TraceOpKind.VECTOR_STORE]
+_KIND_VFMA = KIND_CODES[TraceOpKind.VECTOR_FMA]
+_KIND_SCALAR = KIND_CODES[TraceOpKind.SCALAR]
+_KIND_BRANCH = KIND_CODES[TraceOpKind.BRANCH]
+
+#: Register-reference encoding: ``kind_code * 64 + index`` (64 comfortably
+#: exceeds every architectural register count); -1 encodes "no register".
+#: Vector ops use their plain integer register namespace directly — the
+#: ``kind`` column disambiguates the two encodings.
+_REG_KIND_CODES = {"treg": 0, "ureg": 1, "vreg": 2, "mreg": 3}
+_REG_KINDS_BY_CODE = ("treg", "ureg", "vreg", "mreg")
+_NO_REG = -1
+
+#: Field bounds of the packed signature word (63 bits total, see
+#: ``_packed_signatures``): regs after the +1 shift, nbytes, label ids.
+_REG_BOUND = 512
+_NBYTES_BOUND = 8192
+_LABEL_BOUND = 65536
+
+
+def encode_register(ref: Optional[RegisterRef]) -> int:
+    """Encode a tile-register reference (or None) as a small integer."""
+    if ref is None:
+        return _NO_REG
+    return _REG_KIND_CODES[ref.kind] * 64 + ref.index
+
+
+_DECODE_CACHE: Dict[int, RegisterRef] = {}
+
+
+def decode_register(code: int) -> Optional[RegisterRef]:
+    """Invert :func:`encode_register` (refs are cached: there are few)."""
+    if code < 0:
+        return None
+    ref = _DECODE_CACHE.get(code)
+    if ref is None:
+        ref = RegisterRef(_REG_KINDS_BY_CODE[code // 64], code % 64)
+        _DECODE_CACHE[code] = ref
+    return ref
+
+
+class TraceBuilder:
+    """Appends encoded trace rows; finishes into a :class:`ColumnarTrace`.
+
+    The emission methods mirror the :mod:`repro.core.isa` constructors the
+    builders used to call, but append a plain integer tuple instead of
+    constructing ``Instruction``/``TraceOp`` objects — building a trace this
+    way is an order of magnitude cheaper, and the objects are materialised
+    later only if the trace is actually stepped through the simulator.
+    """
+
+    __slots__ = ("_rows", "_labels", "_label_ids")
+
+    def __init__(self) -> None:
+        self._rows: List[tuple] = []
+        self._labels: List[str] = []
+        self._label_ids: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def _label(self, label: str) -> int:
+        label_id = self._label_ids.get(label)
+        if label_id is None:
+            label_id = len(self._labels)
+            self._label_ids[label] = label_id
+            self._labels.append(label)
+        return label_id
+
+    # -- tile ops ---------------------------------------------------------------
+
+    def tile_load(self, opcode: Opcode, dst: RegisterRef, address: int, label: str = "") -> None:
+        """Append a tile load (``TILE_LOAD_T/U/V/M``)."""
+        if address < 0:
+            # A negative address would alias the "no memory operand" sentinel
+            # in every vectorised view; the isa constructors used to reject
+            # it at emission time, so keep that property.
+            raise SimulationError(f"negative memory address {address}")
+        self._rows.append(
+            (
+                _KIND_TILE,
+                OPCODE_CODES[opcode],
+                encode_register(dst),
+                _NO_REG,
+                _NO_REG,
+                address,
+                opcode.memory_bytes,
+                self._label(""),
+                self._label(label),
+            )
+        )
+
+    def tile_load_t(self, dst: RegisterRef, address: int, label: str = "") -> None:
+        self.tile_load(Opcode.TILE_LOAD_T, dst, address, label)
+
+    def tile_load_u(self, dst: RegisterRef, address: int, label: str = "") -> None:
+        self.tile_load(Opcode.TILE_LOAD_U, dst, address, label)
+
+    def tile_load_v(self, dst: RegisterRef, address: int, label: str = "") -> None:
+        self.tile_load(Opcode.TILE_LOAD_V, dst, address, label)
+
+    def tile_load_m(self, dst: RegisterRef, address: int, label: str = "") -> None:
+        self.tile_load(Opcode.TILE_LOAD_M, dst, address, label)
+
+    def tile_store_t(self, address: int, src: RegisterRef, label: str = "") -> None:
+        """Append a ``TILE_STORE_T``."""
+        if address < 0:
+            raise SimulationError(f"negative memory address {address}")
+        opcode = Opcode.TILE_STORE_T
+        self._rows.append(
+            (
+                _KIND_TILE,
+                OPCODE_CODES[opcode],
+                _NO_REG,
+                encode_register(src),
+                _NO_REG,
+                address,
+                opcode.memory_bytes,
+                self._label(""),
+                self._label(label),
+            )
+        )
+
+    def tile_compute(
+        self,
+        opcode: Opcode,
+        dst: RegisterRef,
+        src_a: RegisterRef,
+        src_b: RegisterRef,
+        label: str = "",
+    ) -> None:
+        """Append a tile compute instruction (GEMM / SPMM / SPGEMM)."""
+        self._rows.append(
+            (
+                _KIND_TILE,
+                OPCODE_CODES[opcode],
+                encode_register(dst),
+                encode_register(src_a),
+                encode_register(src_b),
+                -1,
+                0,
+                self._label(""),
+                self._label(label),
+            )
+        )
+
+    # -- vector / scalar ops ----------------------------------------------------
+
+    def vector_load(self, dst_reg: int, address: int, nbytes: int = 64, label: str = "") -> None:
+        if address < 0:
+            raise SimulationError(f"negative memory address {address}")
+        label_id = self._label(label)
+        self._rows.append(
+            (_KIND_VLOAD, -1, dst_reg, _NO_REG, _NO_REG, address, nbytes, label_id, label_id)
+        )
+
+    def vector_store(self, src_reg: int, address: int, nbytes: int = 64, label: str = "") -> None:
+        if address < 0:
+            raise SimulationError(f"negative memory address {address}")
+        label_id = self._label(label)
+        self._rows.append(
+            (_KIND_VSTORE, -1, _NO_REG, src_reg, _NO_REG, address, nbytes, label_id, label_id)
+        )
+
+    def vector_fma(self, dst_reg: int, src_regs: Sequence[int], label: str = "") -> None:
+        srcs = tuple(src_regs)
+        if len(srcs) > 2:
+            raise SimulationError(
+                f"columnar traces encode at most two FMA sources, got {len(srcs)}"
+            )
+        label_id = self._label(label)
+        src_a = srcs[0] if len(srcs) > 0 else _NO_REG
+        src_b = srcs[1] if len(srcs) > 1 else _NO_REG
+        self._rows.append(
+            (_KIND_VFMA, -1, dst_reg, src_a, src_b, -1, 0, label_id, label_id)
+        )
+
+    def scalar(self, label: str = "") -> None:
+        label_id = self._label(label)
+        self._rows.append((_KIND_SCALAR, -1, _NO_REG, _NO_REG, _NO_REG, -1, 0, label_id, label_id))
+
+    def branch(self, label: str = "") -> None:
+        label_id = self._label(label)
+        self._rows.append((_KIND_BRANCH, -1, _NO_REG, _NO_REG, _NO_REG, -1, 0, label_id, label_id))
+
+    # -- completion -------------------------------------------------------------
+
+    def finish(self) -> "ColumnarTrace":
+        """Freeze the appended rows into a :class:`ColumnarTrace`."""
+        columns = np.array(self._rows, dtype=TRACE_DTYPE)
+        if len(self._labels) >= _LABEL_BOUND:
+            raise SimulationError(
+                f"trace carries {len(self._labels)} distinct labels; "
+                f"the signature packing supports {_LABEL_BOUND}"
+            )
+        return ColumnarTrace(columns=columns, labels=tuple(self._labels))
+
+
+def _encode_op(op: TraceOp, label_of) -> Optional[tuple]:
+    """Encode one TraceOp as a columnar row (None when inexpressible)."""
+    kind = op.kind
+    if kind is TraceOpKind.TILE:
+        instruction = op.tile
+        if op.label:
+            # Builders never label the TraceOp wrapper of a tile instruction;
+            # keeping that invariant lets the signature use one label column.
+            return None
+        memory = instruction.memory
+        if memory is not None and memory.nbytes >= _NBYTES_BOUND:
+            return None
+        return (
+            _KIND_TILE,
+            OPCODE_CODES[instruction.opcode],
+            encode_register(instruction.dst),
+            encode_register(instruction.src_a),
+            encode_register(instruction.src_b),
+            memory.address if memory is not None else -1,
+            memory.nbytes if memory is not None else 0,
+            label_of(op.label),
+            label_of(instruction.label),
+        )
+    if len(op.src_regs) > 2 or op.nbytes >= _NBYTES_BOUND:
+        return None
+    dst = op.dst_reg if op.dst_reg is not None else _NO_REG
+    src_a = op.src_regs[0] if len(op.src_regs) > 0 else _NO_REG
+    src_b = op.src_regs[1] if len(op.src_regs) > 1 else _NO_REG
+    label_id = label_of(op.label)
+    return (
+        KIND_CODES[kind],
+        -1,
+        dst,
+        src_a,
+        src_b,
+        op.address if op.address is not None else -1,
+        op.nbytes,
+        label_id,
+        label_id,
+    )
+
+
+def _first_touch_mask(ids: np.ndarray) -> np.ndarray:
+    """True at the first occurrence of each distinct id."""
+    mask = np.zeros(len(ids), dtype=bool)
+    _, first_index = np.unique(ids, return_index=True)
+    mask[first_index] = True
+    return mask
+
+
+def lru_outcome_bits(ids: np.ndarray, num_sets: int, associativity: int) -> np.ndarray:
+    """Exact per-access hit mask of a set-associative LRU cache.
+
+    Stand-alone replay of the cache state for an access stream of line ids,
+    vectorised *across sets*: accesses are regrouped into per-set
+    subsequences (LRU state is per-set, so the global interleaving is
+    irrelevant), padded to the longest subsequence, and the LRU update runs
+    one vectorised step per subsequence position over all sets at once —
+    ``O(max-accesses-per-set)`` NumPy steps instead of one Python iteration
+    per access.  Matches :class:`repro.cpu.cache.Cache` hit-for-hit.
+    """
+    n = len(ids)
+    sets = ids % num_sets
+    tags = ids // num_sets
+    counts = np.bincount(sets, minlength=num_sets)
+    depth = int(counts.max(initial=0))
+    starts = np.cumsum(counts) - counts
+    order = np.argsort(sets, kind="stable")
+    within = np.empty(n, dtype=np.int64)
+    within[order] = np.arange(n, dtype=np.int64) - np.repeat(starts, counts)
+
+    lanes = np.full((num_sets, depth), -1, dtype=np.int64)
+    lanes[sets, within] = tags
+    tag_state = np.full((num_sets, associativity), -1, dtype=np.int64)
+    age_state = np.full((num_sets, associativity), -1, dtype=np.int64)
+    hit_lanes = np.zeros((num_sets, depth), dtype=bool)
+    for step in range(depth):
+        column = lanes[:, step]
+        active = column >= 0
+        match = tag_state == column[:, None]
+        hit = match.any(axis=1) & active
+        hit_rows = np.flatnonzero(hit)
+        if len(hit_rows):
+            age_state[hit_rows, match.argmax(axis=1)[hit_rows]] = step
+        miss_rows = np.flatnonzero(active & ~hit)
+        if len(miss_rows):
+            victims = age_state[miss_rows].argmin(axis=1)
+            tag_state[miss_rows, victims] = column[miss_rows]
+            age_state[miss_rows, victims] = step
+        hit_lanes[:, step] = hit
+    return hit_lanes[sets, within]
+
+
+def _level_outcome_hits(digest, level, ids: np.ndarray) -> np.ndarray:
+    """Fold one cache level's exact hit/miss outcomes into ``digest``.
+
+    When no set of the level can hold more distinct footprint lines than its
+    associativity, the level can never evict: every access resolves by
+    first-touch residency, which the rank sequence already pins, so a
+    constant marker suffices.  Otherwise the outcome bitmask of the exact
+    LRU replay is folded in.
+    """
+    if not len(ids):
+        digest.update(f"{level.name}:empty".encode())
+        return np.zeros(0, dtype=bool)
+    per_set = np.bincount(np.unique(ids) % level.num_sets, minlength=level.num_sets)
+    if per_set.max(initial=0) <= level.associativity:
+        digest.update(f"{level.name}:no-evictions".encode())
+        return ~_first_touch_mask(ids)
+    hits = lru_outcome_bits(ids, level.num_sets, level.associativity)
+    digest.update(f"{level.name}:".encode())
+    digest.update(np.packbits(hits).tobytes())
+    return hits
+
+
+class ColumnarTrace(Sequence):
+    """A dynamic instruction trace stored column-wise.
+
+    Constructed either from a :class:`TraceBuilder` (``columns`` + label
+    table; ops materialise lazily) or from an existing ops list
+    (:meth:`from_ops`; the originals are kept and columns are derived).  A
+    trace whose ops cannot be expressed columnar (foreign ``TraceOp``
+    variants) degrades gracefully: it still behaves as a sequence, but the
+    vectorised views — and therefore the memoization key — are unavailable.
+    """
+
+    __slots__ = (
+        "columns",
+        "labels",
+        "_ops",
+        "_partial",
+        "_signature_ids",
+        "_structure_digest",
+        "_line_cache",
+    )
+
+    def __init__(
+        self,
+        columns: Optional[np.ndarray] = None,
+        labels: Tuple[str, ...] = (),
+        ops: Optional[List[TraceOp]] = None,
+    ) -> None:
+        if columns is None and ops is None:
+            raise SimulationError("a ColumnarTrace needs columns or ops")
+        self.columns = columns
+        self.labels = labels
+        self._ops = ops
+        self._partial: Optional[List[Optional[TraceOp]]] = None
+        self._signature_ids: Optional[np.ndarray] = None
+        self._structure_digest: Optional[bytes] = None
+        self._line_cache: Optional[Tuple[int, np.ndarray]] = None
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_ops(cls, ops: Sequence[TraceOp]) -> "ColumnarTrace":
+        """Wrap an existing ops list, deriving columns when expressible."""
+        if isinstance(ops, ColumnarTrace):
+            return ops
+        ops = list(ops)
+        labels: List[str] = []
+        label_ids: Dict[str, int] = {}
+
+        def label_of(label: str) -> int:
+            label_id = label_ids.get(label)
+            if label_id is None:
+                label_id = len(labels)
+                label_ids[label] = label_id
+                labels.append(label)
+            return label_id
+
+        rows: List[tuple] = []
+        for op in ops:
+            row = _encode_op(op, label_of)
+            if row is None:
+                return cls(columns=None, labels=(), ops=ops)
+            rows.append(row)
+        if len(labels) >= _LABEL_BOUND:
+            return cls(columns=None, labels=(), ops=ops)
+        columns = np.array(rows, dtype=TRACE_DTYPE) if rows else np.empty(0, TRACE_DTYPE)
+        return cls(columns=columns, labels=tuple(labels), ops=ops)
+
+    # -- sequence protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        if self.columns is not None:
+            return len(self.columns)
+        return len(self._ops)
+
+    def __getitem__(self, index: Union[int, slice]):
+        return self.ops()[index]
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        return iter(self.ops())
+
+    def __getstate__(self):
+        # Materialised ops are a cache when columns exist; do not ship them
+        # across process boundaries.
+        ops = self._ops if self.columns is None else None
+        return (self.columns, self.labels, ops)
+
+    def __setstate__(self, state):
+        self.columns, self.labels, self._ops = state
+        self._partial = None
+        self._signature_ids = None
+        self._structure_digest = None
+        self._line_cache = None
+
+    # -- materialisation --------------------------------------------------------
+
+    def ops(self) -> List[TraceOp]:
+        """The trace as TraceOp objects (materialised once, then cached)."""
+        if self._ops is None:
+            self._ops = self._materialize(0, len(self))
+        return self._ops
+
+    def ops_span(self, start: int, end: int) -> List[Optional[TraceOp]]:
+        """A shared op buffer with ``[start, end)`` guaranteed materialised.
+
+        Entries outside every span requested so far are ``None`` — callers
+        index only into spans they asked for.  Lets the simulator's fast path
+        pay object-construction cost only for the ops it actually steps,
+        while skipped steady-state spans stay columnar.
+        """
+        if self._ops is not None:
+            return self._ops
+        if self._partial is None:
+            self._partial = [None] * len(self)
+        partial = self._partial
+        if start < end and None in partial[start:end]:
+            partial[start:end] = self._materialize(start, end)
+        return partial
+
+    def _materialize(self, start: int, end: int) -> List[TraceOp]:
+        labels = self.labels
+        ops: List[TraceOp] = []
+        append = ops.append
+        for row in self.columns[start:end]:
+            kind = int(row["kind"])
+            if kind == _KIND_TILE:
+                opcode = OPCODES_BY_CODE[int(row["opcode"])]
+                label = labels[int(row["ilabel"])]
+                if opcode.is_load:
+                    instruction = Instruction(
+                        opcode,
+                        dst=decode_register(int(row["dst"])),
+                        memory=isa.MemoryOperand(int(row["address"]), int(row["nbytes"]), label),
+                        label=label,
+                    )
+                elif opcode.is_store:
+                    instruction = Instruction(
+                        opcode,
+                        src_a=decode_register(int(row["src_a"])),
+                        memory=isa.MemoryOperand(int(row["address"]), int(row["nbytes"]), label),
+                        label=label,
+                    )
+                else:
+                    instruction = Instruction(
+                        opcode,
+                        dst=decode_register(int(row["dst"])),
+                        src_a=decode_register(int(row["src_a"])),
+                        src_b=decode_register(int(row["src_b"])),
+                        label=label,
+                    )
+                append(tile_op(instruction))
+            elif kind == _KIND_SCALAR:
+                append(scalar_op(labels[int(row["oplabel"])]))
+            elif kind == _KIND_BRANCH:
+                append(branch_op(labels[int(row["oplabel"])]))
+            elif kind == _KIND_VLOAD:
+                append(
+                    vector_load(
+                        int(row["dst"]),
+                        int(row["address"]),
+                        int(row["nbytes"]),
+                        labels[int(row["oplabel"])],
+                    )
+                )
+            elif kind == _KIND_VSTORE:
+                append(
+                    vector_store(
+                        int(row["src_a"]),
+                        int(row["address"]),
+                        int(row["nbytes"]),
+                        labels[int(row["oplabel"])],
+                    )
+                )
+            else:  # VECTOR_FMA
+                srcs = tuple(
+                    int(row[field]) for field in ("src_a", "src_b") if int(row[field]) >= 0
+                )
+                dst = int(row["dst"])
+                append(vector_fma(dst if dst >= 0 else None, srcs, labels[int(row["oplabel"])]))
+        return ops
+
+    # -- vectorised views -------------------------------------------------------
+
+    def _packed_signatures(self) -> np.ndarray:
+        """Pack the timing signature of every op into one ``int64`` word.
+
+        The word covers exactly the fields of
+        :func:`repro.cpu.fastsim.op_signature` — kind, opcode, the three
+        register operands, access size and trace-op label — and nothing else;
+        addresses are deliberately absent.
+        """
+        cols = self.columns
+        kind = cols["kind"].astype(np.int64)
+        opcode = cols["opcode"].astype(np.int64) + 1
+        dst = cols["dst"].astype(np.int64) + 1
+        src_a = cols["src_a"].astype(np.int64) + 1
+        src_b = cols["src_b"].astype(np.int64) + 1
+        nbytes = cols["nbytes"].astype(np.int64)
+        oplabel = cols["oplabel"].astype(np.int64)
+        if len(cols) and (
+            opcode.max(initial=0) >= 16
+            or dst.max(initial=0) >= _REG_BOUND
+            or src_a.max(initial=0) >= _REG_BOUND
+            or src_b.max(initial=0) >= _REG_BOUND
+            or nbytes.max(initial=0) >= _NBYTES_BOUND
+        ):
+            raise SimulationError("trace row exceeds the signature packing bounds")
+        packed = kind
+        packed = packed * 16 + opcode
+        packed = packed * _REG_BOUND + dst
+        packed = packed * _REG_BOUND + src_a
+        packed = packed * _REG_BOUND + src_b
+        packed = packed * _NBYTES_BOUND + nbytes
+        packed = packed * _LABEL_BOUND + oplabel
+        return packed
+
+    @property
+    def has_columns(self) -> bool:
+        """True when the vectorised views (and the memo key) are available."""
+        return self.columns is not None
+
+    def signature_ids(self) -> np.ndarray:
+        """Per-op signature ids, assigned in first-appearance order.
+
+        Equivalent to interning :func:`repro.cpu.fastsim.op_signature` tuples
+        op by op, but derived from the packed content words, so the result
+        depends only on the trace content (never on hash seeds or interning
+        history) and costs one ``np.unique`` instead of a Python loop.
+        """
+        if self._signature_ids is None:
+            packed = self._packed_signatures()
+            _, first_index, inverse = np.unique(
+                packed, return_index=True, return_inverse=True
+            )
+            order = np.argsort(first_index, kind="stable")
+            rank = np.empty(len(order), dtype=np.int64)
+            rank[order] = np.arange(len(order), dtype=np.int64)
+            self._signature_ids = rank[inverse]
+        return self._signature_ids
+
+    def summarize_span(self, start: int, end: int) -> TraceSummary:
+        """Instruction-mix summary of ``trace[start:end]`` via bincounts."""
+        cols = self.columns[start:end]
+        kinds = cols["kind"]
+        kind_counts = np.bincount(kinds, minlength=len(KINDS_BY_CODE))
+        summary = TraceSummary(
+            total=int(len(cols)),
+            vector_fma=int(kind_counts[_KIND_VFMA]),
+            vector_load=int(kind_counts[_KIND_VLOAD]),
+            vector_store=int(kind_counts[_KIND_VSTORE]),
+            scalar=int(kind_counts[_KIND_SCALAR]),
+            branch=int(kind_counts[_KIND_BRANCH]),
+            memory_bytes=int(cols["nbytes"].sum()),
+        )
+        if kind_counts[_KIND_TILE]:
+            tile_opcodes = cols["opcode"][kinds == _KIND_TILE]
+            opcode_counts = np.bincount(tile_opcodes, minlength=len(OPCODES_BY_CODE))
+            for code, count in enumerate(opcode_counts):
+                if not count:
+                    continue
+                opcode = OPCODES_BY_CODE[code]
+                summary.by_opcode[opcode.value] = int(count)
+                if opcode.is_compute:
+                    summary.tile_compute += int(count)
+                elif opcode.is_load:
+                    summary.tile_load += int(count)
+                else:
+                    summary.tile_store += int(count)
+        return summary
+
+    def summarize(self) -> TraceSummary:
+        """Instruction-mix summary of the whole trace."""
+        return self.summarize_span(0, len(self))
+
+    def memory_regions(self, start: int = 0, end: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Unique ``(address, nbytes)`` regions of a span, sorted.
+
+        Matches :func:`repro.cpu.trace.trace_memory_footprint` exactly (the
+        simulator pre-warms the L2 from these regions).
+        """
+        cols = self.columns[start : len(self) if end is None else end]
+        addresses = cols["address"]
+        mask = addresses >= 0
+        if not mask.any():
+            return []
+        packed = addresses[mask] * np.int64(_NBYTES_BOUND) + cols["nbytes"][mask]
+        unique = np.unique(packed)
+        return [
+            (int(value) // _NBYTES_BOUND, int(value) % _NBYTES_BOUND) for value in unique
+        ]
+
+    def _line_expansion(self, line_bytes: int) -> np.ndarray:
+        """Line number of every cache-line access, in program order.
+
+        Cached per line size: one ``simulate_multicore`` call needs this
+        stream twice per program (memoization key + shared-L3 footprint).
+        """
+        if self._line_cache is not None and self._line_cache[0] == line_bytes:
+            return self._line_cache[1]
+        lines = self._expand_lines(line_bytes)
+        self._line_cache = (line_bytes, lines)
+        return lines
+
+    def _expand_lines(self, line_bytes: int) -> np.ndarray:
+        cols = self.columns
+        addresses = cols["address"]
+        mask = addresses >= 0
+        addresses = addresses[mask]
+        if not len(addresses):
+            return np.empty(0, dtype=np.int64)
+        nbytes = cols["nbytes"][mask].astype(np.int64)
+        first = addresses // line_bytes
+        last = (addresses + nbytes - 1) // line_bytes
+        counts = last - first + 1
+        total = int(counts.sum())
+        offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        return np.repeat(first, counts) + (np.arange(total, dtype=np.int64) - offsets)
+
+    def footprint_line_numbers(self, line_bytes: int) -> np.ndarray:
+        """Distinct cache-line numbers referenced by the trace."""
+        return np.unique(self._line_expansion(line_bytes))
+
+    # -- memoization key --------------------------------------------------------
+
+    def _structure_hash(self) -> bytes:
+        """Digest of the address-free trace content (cached)."""
+        if self._structure_digest is None:
+            digest = hashlib.sha256()
+            digest.update(np.ascontiguousarray(self._packed_signatures()).tobytes())
+            digest.update("\x00".join(self.labels).encode("utf-8"))
+            self._structure_digest = digest.digest()
+        return self._structure_digest
+
+    def address_structure_hash(self, machine) -> bytes:
+        """Digest of the cache *behaviour* the address stream induces.
+
+        Raw addresses are normalized out; what survives is exactly what the
+        memory system's timing and counters depend on:
+
+        * the first-appearance **rank sequence** of the accessed lines, which
+          fixes the reuse pattern up to a bijective relabeling of lines,
+        * each level's **hit/miss outcome sequence**, obtained from an exact
+          stand-alone replay of its set-associative LRU state
+          (:func:`lru_outcome_bits`, vectorised across sets).  A level that
+          cannot possibly evict on this footprint (no set holds more distinct
+          lines than its associativity) resolves every access by first-touch
+          residency — already determined by the rank sequence — and
+          contributes a constant marker instead of a replay; with the ideal
+          L2 prefetch of the paper's methodology every L2 access is a hit by
+          construction, so that level is likewise a marker.
+
+        Equal digests imply identical per-access levels and latencies and
+        identical reported counters, so the simulation outcome cannot depend
+        on which member of the equivalence class is simulated — even when
+        the members' region offsets fall into different cache sets (the case
+        for the address-shifted per-core shards of one kernel, whose shifts
+        are rarely multiples of the set spans).
+        """
+        lines = self._line_expansion(machine.l1.line_bytes)
+        digest = hashlib.sha256()
+        if not len(lines):
+            return digest.digest()
+        _, first_index, inverse = np.unique(lines, return_index=True, return_inverse=True)
+        order = np.argsort(first_index, kind="stable")
+        rank = np.empty(len(order), dtype=np.int64)
+        rank[order] = np.arange(len(order), dtype=np.int64)
+        digest.update(np.ascontiguousarray(rank[inverse]).tobytes())
+
+        l1_hits = _level_outcome_hits(digest, machine.l1, lines)
+        if machine.prefetch_into_l2:
+            # The ideal prefetcher guarantees an L2 hit for every demand the
+            # simulator issues (both paths pre-register the full footprint).
+            digest.update(b"L2:ideal-prefetch")
+        else:
+            l2_lines = (lines * machine.l1.line_bytes) // machine.l2.line_bytes
+            _level_outcome_hits(digest, machine.l2, l2_lines[~l1_hits])
+        return digest.digest()
+
+    def simulation_key(self, machine, block_starts=None) -> Optional[str]:
+        """Content address of this trace's simulation outcome on ``machine``.
+
+        Returns None when the trace has no columnar form.  The key covers the
+        address-free op content, the cache-collision structure of the address
+        stream under the machine's cache geometry, and the builder's block
+        hints; the caller folds in the engine/mode/machine identity (see
+        :func:`repro.cpu.multicore.simulation_cache_key`).  Everything is
+        content-derived, so keys are valid across processes and runs.
+        """
+        if self.columns is None:
+            return None
+        digest = hashlib.sha256()
+        digest.update(SIMULATION_KEY_SCHEMA.encode())
+        digest.update(len(self).to_bytes(8, "little"))
+        digest.update(self._structure_hash())
+        digest.update(self.address_structure_hash(machine))
+        if block_starts:
+            digest.update(np.asarray(list(block_starts), dtype=np.int64).tobytes())
+        return digest.hexdigest()

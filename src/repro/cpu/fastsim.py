@@ -91,11 +91,16 @@ def op_signature(op: TraceOp) -> tuple:
 def lower_signatures(trace: Sequence[TraceOp]) -> np.ndarray:
     """Lower a trace into a per-op ``int64`` signature-id array.
 
-    Ids are assigned in first-appearance order, so the array — and every
-    decision derived from it (anchor choice, block boundaries) — is
-    deterministic across interpreter runs, unlike ``hash()`` which is
-    randomized per process for strings and enums.
+    Ids are assigned in first-appearance order and derived purely from the
+    op content, so the array — and every decision derived from it (anchor
+    choice, block boundaries, memoization keys) — is deterministic across
+    interpreter runs and processes.  Columnar traces answer from their packed
+    signature column in one vectorised pass; plain op lists are interned op
+    by op (dict *equality* interning, never ``hash()`` identity, so the ids
+    cannot depend on per-process enum/string identity either).
     """
+    if getattr(trace, "has_columns", False):
+        return trace.signature_ids()
     table: Dict[tuple, int] = {}
     ids = np.empty(len(trace), dtype=np.int64)
     for index, op in enumerate(trace):
@@ -108,6 +113,22 @@ def lower_signatures(trace: Sequence[TraceOp]) -> np.ndarray:
     return ids
 
 
+def _starts_from_signatures(signatures: np.ndarray) -> Optional[List[int]]:
+    """Anchor-based periodic block starts from a signature array, or None."""
+    if len(signatures) < 2 * MIN_ANCHOR_REPEATS:
+        return None
+    values, counts = np.unique(signatures, return_counts=True)
+    repeated = counts >= MIN_ANCHOR_REPEATS
+    if not repeated.any():
+        return None
+    candidates = values[repeated]
+    anchor = candidates[np.argmin(counts[repeated])]
+    occurrences = np.flatnonzero(signatures == anchor)
+    if len(occurrences) < MIN_ANCHOR_REPEATS:
+        return None
+    return occurrences.tolist()
+
+
 def derive_block_starts(
     trace: Sequence[TraceOp],
 ) -> Tuple[Optional[List[int]], Optional[np.ndarray]]:
@@ -118,20 +139,13 @@ def derive_block_starts(
     is used as the period anchor — in the generated kernels that is one of
     the once-per-output-tile ops (e.g. the tile-loop branch).
     """
-    n = len(trace)
-    if n < 2 * MIN_ANCHOR_REPEATS:
+    if len(trace) < 2 * MIN_ANCHOR_REPEATS:
         return None, None
     signatures = lower_signatures(trace)
-    values, counts = np.unique(signatures, return_counts=True)
-    repeated = counts >= MIN_ANCHOR_REPEATS
-    if not repeated.any():
+    starts = _starts_from_signatures(signatures)
+    if starts is None:
         return None, None
-    candidates = values[repeated]
-    anchor = candidates[np.argmin(counts[repeated])]
-    occurrences = np.flatnonzero(signatures == anchor)
-    if len(occurrences) < MIN_ANCHOR_REPEATS:
-        return None, None
-    return occurrences.tolist(), signatures
+    return starts, signatures
 
 
 def build_segments(
@@ -284,25 +298,36 @@ def run_fast(
     scan needed); otherwise periodicity is detected from the signature array.
     """
     n = len(trace)
+    columnar = trace if getattr(trace, "has_columns", False) else None
     signatures: Optional[np.ndarray] = None
+    if columnar is not None:
+        # Columnar traces lower to signature ids in one vectorised pass, so
+        # hints never trade verification for speed: segments are always
+        # signature-verified in full, and an invalid hint simply falls back
+        # to anchor detection over the same array.
+        signatures = columnar.signature_ids()
     if (
         block_starts is None
         or len(block_starts) < MIN_ANCHOR_REPEATS
         or not _valid_block_starts(block_starts, n)
     ):
-        block_starts, signatures = derive_block_starts(trace)
+        if signatures is None:
+            block_starts, signatures = derive_block_starts(trace)
+        else:
+            block_starts = _starts_from_signatures(signatures)
         if block_starts is None:
             return None
-    # Builder-supplied hints skip the full-trace signature scan: the blocks
-    # actually simulated, plus a first/middle/last sample of every skipped
-    # span, are signature-checked against their segment head, and any
-    # mismatch aborts to the exact path.  That catches broken builders
-    # without an O(trace) pass but is not exhaustive — callers with
-    # untrusted traces should pass block_starts=None (full signature
-    # verification) or mode="exact".
+    # For plain op lists, builder-supplied hints skip the full-trace
+    # signature scan: the blocks actually simulated, plus a
+    # first/middle/last sample of every skipped span, are signature-checked
+    # against their segment head, and any mismatch aborts to the exact path.
+    # That catches broken builders without an O(trace) pass but is not
+    # exhaustive — callers with untrusted op-list traces should pass
+    # block_starts=None (full signature verification) or mode="exact".
     hinted = signatures is None
 
     bounds, segments = build_segments(block_starts, n, signatures)
+    ops = trace if columnar is None else None  # columnar ops materialise per span
 
     state = SimulatorState(machine, engine, retain_pipeline_history=False)
     prefetch = machine.prefetch_into_l2
@@ -311,16 +336,32 @@ def run_fast(
 
     def warm(start: int, end: int) -> None:
         if prefetch and start < end:
-            state.memory.prefetch_regions(trace_memory_footprint(trace[start:end]))
+            if columnar is not None:
+                regions = columnar.memory_regions(start, end)
+            else:
+                regions = trace_memory_footprint(trace[start:end])
+            state.memory.prefetch_regions(regions)
+
+    def span_summary(start: int, end: int) -> TraceSummary:
+        if columnar is not None:
+            return columnar.summarize_span(start, end)
+        return summarize_trace(trace[start:end])
+
+    def span_ops(start: int, end: int):
+        if ops is not None:
+            return ops
+        return columnar.ops_span(start, end)
 
     def simulate_span(start: int, end: int) -> None:
         warm(start, end)
+        source = span_ops(start, end)
         step = state.step
         for index in range(start, end):
-            step(trace[index])
+            step(source[index])
 
     def simulate_block(start: int, end: int) -> _BlockProfile:
         warm(start, end)
+        source = span_ops(start, end)
         counters_before = state.memory.counters()
         engine_ops_before = state.engine_ops
         size = end - start
@@ -328,7 +369,7 @@ def run_fast(
         completions = np.empty(size, dtype=np.int64)
         step = state.step
         for offset in range(size):
-            issues[offset], completions[offset] = step(trace[start + offset])
+            issues[offset], completions[offset] = step(source[start + offset])
         counters_after = state.memory.counters()
         counter_delta = {
             key: counters_after[key] - counters_before.get(key, 0)
@@ -343,12 +384,13 @@ def run_fast(
         )
 
     def block_signatures(start: int, end: int) -> List[tuple]:
-        return [op_signature(trace[index]) for index in range(start, end)]
+        source = span_ops(start, end)
+        return [op_signature(source[index]) for index in range(start, end)]
 
     try:
         # Warm-up prefix before the first detected block.
         simulate_span(0, bounds[0])
-        _merge_summary(summary, summarize_trace(trace[: bounds[0]]))
+        _merge_summary(summary, span_summary(0, bounds[0]))
 
         for first_block, count in segments:
             segment_start = bounds[first_block]
@@ -358,7 +400,7 @@ def run_fast(
                 # Too short to skip: simulate and summarize the real ops, so
                 # even a lying hint cannot corrupt the result here.
                 simulate_span(segment_start, segment_end)
-                _merge_summary(summary, summarize_trace(trace[segment_start:segment_end]))
+                _merge_summary(summary, span_summary(segment_start, segment_end))
                 continue
             # Skipped repetitions are accounted as copies of the segment head;
             # for detected periodicity the whole segment is signature-verified
@@ -366,7 +408,7 @@ def run_fast(
             # against the head below (mismatch aborts to the exact path).
             _merge_summary(
                 summary,
-                summarize_trace(trace[segment_start : segment_start + period]),
+                span_summary(segment_start, segment_start + period),
                 count,
             )
             head_signatures: Optional[List[tuple]] = None

@@ -38,15 +38,29 @@ suite pins for every kernel).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
+import multiprocessing
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..core.engine import EngineConfig
 from ..errors import SimulationError
 from .params import MachineParams, default_machine
-from .simulator import CycleApproximateSimulator, SimulationResult
-from .trace import trace_memory_footprint
+from .simulator import (
+    SIMULATOR_MODEL_VERSION,
+    CycleApproximateSimulator,
+    SimulationResult,
+)
+from .trace import TraceSummary, trace_memory_footprint
+
+#: Environment variable disabling block-signature memoization (set to any
+#: value other than ``0``); every core is then simulated individually.
+NO_MEMO_ENV = "REPRO_NO_MEMO"
 
 #: Default shared-L3 capacity (a server-class last-level cache slice pool).
 DEFAULT_L3_CAPACITY_BYTES = 32 * 1024 * 1024
@@ -244,13 +258,238 @@ class MulticoreSimulationResult:
 
 
 def _footprint_lines(trace, line_bytes: int) -> Set[int]:
-    """Distinct cache-line numbers referenced by a trace."""
+    """Distinct cache-line numbers referenced by a trace (op-list fallback)."""
     lines: Set[int] = set()
     for address, nbytes in trace_memory_footprint(trace):
         first = address // line_bytes
         last = (address + nbytes - 1) // line_bytes
         lines.update(range(first, last + 1))
     return lines
+
+
+def _footprint_line_array(trace, line_bytes: int) -> np.ndarray:
+    """Distinct cache-line numbers as a sorted array (vectorised when columnar)."""
+    if getattr(trace, "has_columns", False):
+        return trace.footprint_line_numbers(line_bytes)
+    return np.fromiter(sorted(_footprint_lines(trace, line_bytes)), dtype=np.int64)
+
+
+# -- block-signature memoization ------------------------------------------------
+
+#: In-process memo of simulation payloads keyed by the full simulation key.
+_PROCESS_MEMO: Dict[str, Dict[str, Any]] = {}
+
+
+def clear_simulation_memo() -> None:
+    """Drop the in-process simulation memo (tests and benchmarks)."""
+    _PROCESS_MEMO.clear()
+
+
+def memoization_enabled(memo: Optional[bool] = None) -> bool:
+    """Resolve the memoization switch: explicit argument, then ``REPRO_NO_MEMO``."""
+    if memo is not None:
+        return memo
+    return os.environ.get(NO_MEMO_ENV, "") in ("", "0")
+
+
+def _engine_identity(engine: Optional[EngineConfig]) -> str:
+    """Canonical JSON identity of an engine configuration."""
+    if engine is None:
+        return "none"
+    return json.dumps(
+        {
+            "name": engine.name,
+            "sparse": engine.sparse,
+            "alpha": engine.alpha,
+            "beta": engine.beta,
+            "total_macs": engine.total_macs,
+            "patterns": sorted(p.value for p in engine.supported_patterns),
+            "output_forwarding": engine.output_forwarding,
+            "spgemm": engine.spgemm,
+            "prior_work": engine.prior_work,
+        },
+        sort_keys=True,
+    )
+
+
+def simulation_cache_key(
+    program: Any,
+    machine: MachineParams,
+    engine: Optional[EngineConfig],
+    mode: str,
+) -> Optional[str]:
+    """Full content address of one program's private-simulation outcome.
+
+    Combines the trace's address-normalized signature key (see
+    :meth:`repro.cpu.columnar.ColumnarTrace.simulation_key`) with the machine
+    parameters, engine configuration and simulation mode.  Two programs with
+    equal keys produce bit-identical :class:`SimulationResult`\\ s, so the key
+    is valid across cores, trials, processes and runs.  Returns None for
+    traces without a columnar form (no memoization).
+    """
+    trace = program.trace
+    key_of = getattr(trace, "simulation_key", None)
+    if key_of is None:
+        return None
+    trace_key = key_of(machine, getattr(program, "block_starts", None))
+    if trace_key is None:
+        return None
+    digest = hashlib.sha256()
+    digest.update(trace_key.encode())
+    digest.update(json.dumps(machine.to_dict(), sort_keys=True).encode())
+    digest.update(_engine_identity(engine).encode())
+    digest.update(mode.encode())
+    digest.update(SIMULATOR_MODEL_VERSION.encode())
+    return digest.hexdigest()
+
+
+def result_to_payload(result: SimulationResult) -> Dict[str, Any]:
+    """Serialize a :class:`SimulationResult` to a plain-data payload."""
+    summary = result.trace_summary
+    return {
+        "core_cycles": result.core_cycles,
+        "engine_busy_cycles": result.engine_busy_cycles,
+        "engine_makespan_cycles": result.engine_makespan_cycles,
+        "tile_compute_ops": result.tile_compute_ops,
+        "summary": {
+            "total": summary.total,
+            "tile_compute": summary.tile_compute,
+            "tile_load": summary.tile_load,
+            "tile_store": summary.tile_store,
+            "vector_fma": summary.vector_fma,
+            "vector_load": summary.vector_load,
+            "vector_store": summary.vector_store,
+            "scalar": summary.scalar,
+            "branch": summary.branch,
+            "memory_bytes": summary.memory_bytes,
+            "by_opcode": dict(summary.by_opcode),
+        },
+        "memory_counters": dict(result.memory_counters),
+    }
+
+
+def payload_to_result(
+    payload: Dict[str, Any],
+    machine: MachineParams,
+    engine: Optional[EngineConfig],
+) -> SimulationResult:
+    """Reconstruct a :class:`SimulationResult` from a stored payload."""
+    summary_data = dict(payload["summary"])
+    by_opcode = {str(k): int(v) for k, v in summary_data.pop("by_opcode").items()}
+    summary = TraceSummary(
+        **{key: int(value) for key, value in summary_data.items()},
+        by_opcode=by_opcode,
+    )
+    return SimulationResult(
+        core_cycles=int(payload["core_cycles"]),
+        engine_busy_cycles=int(payload["engine_busy_cycles"]),
+        engine_makespan_cycles=int(payload["engine_makespan_cycles"]),
+        tile_compute_ops=int(payload["tile_compute_ops"]),
+        trace_summary=summary,
+        memory_counters={str(k): int(v) for k, v in payload["memory_counters"].items()},
+        machine=machine,
+        engine=engine,
+    )
+
+
+def simulate_program_cached(
+    program: Any,
+    *,
+    machine: Optional[MachineParams] = None,
+    engine: Optional[EngineConfig] = None,
+    mode: str = "fast",
+    memo: Optional[bool] = None,
+    block_cache: Optional[Any] = None,
+) -> SimulationResult:
+    """Run one program's private simulation through the signature memo.
+
+    ``block_cache`` is any object with ``get(key) -> payload | None`` and
+    ``put(key, payload)`` (e.g. the experiments layer's persistent store);
+    the in-process memo is always consulted first.  With memoization off (or
+    for traces without a columnar form) this is exactly ``simulator.run``.
+    """
+    machine = machine if machine is not None else default_machine()
+    key = (
+        simulation_cache_key(program, machine, engine, mode)
+        if memoization_enabled(memo)
+        else None
+    )
+    if key is not None:
+        payload = _PROCESS_MEMO.get(key)
+        if payload is None and block_cache is not None:
+            payload = block_cache.get(key)
+            if payload is not None:
+                _PROCESS_MEMO[key] = payload
+        if payload is not None:
+            return payload_to_result(payload, machine, engine)
+    result = CycleApproximateSimulator(machine=machine, engine=engine, mode=mode).run(
+        program.trace, block_starts=getattr(program, "block_starts", None)
+    )
+    if key is not None:
+        payload = result_to_payload(result)
+        _PROCESS_MEMO[key] = payload
+        if block_cache is not None:
+            block_cache.put(key, payload)
+    return result
+
+
+#: Simulation context inherited by forked pool workers (set just before the
+#: pool is created; ``fork`` snapshots module globals into each worker).
+_POOL_CONTEXT: Dict[str, Any] = {}
+
+
+def _simulate_pool_task(task: Tuple[int, Any]) -> Tuple[int, SimulationResult]:
+    """Worker entry: simulate one per-core program with the inherited context."""
+    index, program = task
+    simulator = CycleApproximateSimulator(
+        machine=_POOL_CONTEXT["machine"],
+        engine=_POOL_CONTEXT["engine"],
+        mode=_POOL_CONTEXT["mode"],
+    )
+    result = simulator.run(
+        program.trace, block_starts=getattr(program, "block_starts", None)
+    )
+    return index, result
+
+
+def _simulate_tasks(
+    tasks: List[Tuple[int, Any]],
+    machine: MachineParams,
+    engine: Optional[EngineConfig],
+    mode: str,
+    jobs: Optional[int],
+) -> List[Tuple[int, SimulationResult]]:
+    """Simulate ``(index, program)`` tasks, optionally across worker processes.
+
+    Parallelism kicks in only when ``jobs > 1``, more than one task is
+    pending, and the platform offers ``fork`` (cheap context inheritance);
+    otherwise the tasks run serially in-process.  Results are identical
+    either way — the worker pool only changes wall-clock time.
+    """
+    workers = 0
+    if jobs is not None and jobs > 1 and len(tasks) > 1:
+        try:
+            context = multiprocessing.get_context("fork")
+            workers = min(jobs, len(tasks))
+        except ValueError:  # platforms without fork
+            workers = 0
+    if workers <= 1:
+        simulator = CycleApproximateSimulator(machine=machine, engine=engine, mode=mode)
+        return [
+            (
+                index,
+                simulator.run(
+                    program.trace, block_starts=getattr(program, "block_starts", None)
+                ),
+            )
+            for index, program in tasks
+        ]
+    _POOL_CONTEXT.update(machine=machine, engine=engine, mode=mode)
+    try:
+        with context.Pool(processes=workers) as pool:
+            return pool.map(_simulate_pool_task, tasks)
+    finally:
+        _POOL_CONTEXT.clear()
 
 
 def simulate_multicore(
@@ -260,6 +499,9 @@ def simulate_multicore(
     engine: Optional[EngineConfig] = None,
     mode: str = "fast",
     shared: Optional[SharedMemoryParams] = None,
+    memo: Optional[bool] = None,
+    block_cache: Optional[Any] = None,
+    jobs: Optional[int] = None,
 ) -> MulticoreSimulationResult:
     """Simulate one per-core program per simulated core under shared memory.
 
@@ -268,26 +510,72 @@ def simulate_multicore(
     or any duck-typed equivalent.  Every core runs the existing private
     simulator in ``mode``; the shared-L3 estimate and bandwidth arbiter then
     convert cross-core miss traffic into a (possibly dilated) makespan.
+
+    **Block-signature memoization.**  The per-core programs of a sharded
+    kernel are largely address-shifted copies of one another.  Cores are
+    grouped into signature-equivalence classes (via
+    :func:`simulation_cache_key`, which normalizes raw addresses down to the
+    cache-collision structure they induce); one representative per class is
+    simulated and its cycles and cache counters are replayed for the rest,
+    bit-identically to simulating every core.  ``memo=False`` (or the
+    ``REPRO_NO_MEMO`` environment variable) disables the grouping;
+    ``block_cache`` adds a persistent get/put store so equal classes recur
+    for free across trials and processes; ``jobs > 1`` fans the remaining
+    representative simulations out over worker processes.
     """
     if not programs:
         raise SimulationError("simulate_multicore needs at least one per-core program")
     machine = machine if machine is not None else default_machine()
     shared = shared if shared is not None else SharedMemoryParams()
-    simulator = CycleApproximateSimulator(machine=machine, engine=engine, mode=mode)
+    memo_enabled = memoization_enabled(memo)
 
     line_bytes = machine.l1.line_bytes
-    per_core: List[SimulationResult] = []
-    footprints: List[Set[int]] = []
-    for program in programs:
-        trace = program.trace
-        block_starts = getattr(program, "block_starts", None)
-        per_core.append(simulator.run(trace, block_starts=block_starts))
-        footprints.append(_footprint_lines(trace, line_bytes))
+    keys: List[Optional[str]] = [
+        simulation_cache_key(program, machine, engine, mode) if memo_enabled else None
+        for program in programs
+    ]
+    per_core: List[Optional[SimulationResult]] = [None] * len(programs)
+    payloads: Dict[str, Dict[str, Any]] = {}
+    pending: List[Tuple[int, Any]] = []
+    seen_pending: Set[str] = set()
+    for index, (program, key) in enumerate(zip(programs, keys)):
+        if key is None:
+            pending.append((index, program))
+            continue
+        payload = _PROCESS_MEMO.get(key)
+        if payload is None and block_cache is not None:
+            payload = block_cache.get(key)
+            if payload is not None:
+                _PROCESS_MEMO[key] = payload
+        if payload is not None:
+            payloads[key] = payload
+        elif key not in seen_pending:
+            seen_pending.add(key)
+            pending.append((index, program))
+
+    for index, result in _simulate_tasks(pending, machine, engine, mode, jobs):
+        per_core[index] = result
+        key = keys[index]
+        if key is not None:
+            payload = result_to_payload(result)
+            payloads[key] = payload
+            _PROCESS_MEMO[key] = payload
+            if block_cache is not None:
+                block_cache.put(key, payload)
+    for index, key in enumerate(keys):
+        if per_core[index] is None:
+            per_core[index] = payload_to_result(payloads[key], machine, engine)
+
+    footprints = [
+        _footprint_line_array(program.trace, line_bytes) for program in programs
+    ]
 
     # Analytic shared L3: capacity misses (beyond each core's compulsory
     # footprint) hit in proportion to how much of the combined working set
     # fits; compulsory misses always pay the DRAM trip.
-    combined_lines = len(set().union(*footprints)) if footprints else 0
+    combined_lines = (
+        int(np.unique(np.concatenate(footprints)).size) if footprints else 0
+    )
     combined_bytes = combined_lines * line_bytes
     fit_fraction = (
         min(1.0, shared.l3_capacity_bytes / combined_bytes) if combined_bytes else 1.0
@@ -298,7 +586,7 @@ def simulate_multicore(
     l3_hit_lines: List[int] = []
     dram_lines: List[int] = []
     for lines, footprint in zip(private_dram, footprints):
-        capacity_misses = max(0, lines - len(footprint))
+        capacity_misses = max(0, lines - int(footprint.size))
         hits = int(capacity_misses * fit_fraction)
         l3_hit_lines.append(hits)
         dram_lines.append(lines - hits)

@@ -56,6 +56,14 @@ from .trace import TraceOp, TraceOpKind, TraceSummary, summarize_trace, trace_me
 #: Recognised simulation modes.
 SIMULATION_MODES = ("fast", "exact")
 
+#: Version of the simulator's *timing semantics*.  Folded into every
+#: block-memoization key (:func:`repro.cpu.multicore.simulation_cache_key`),
+#: so persisted per-core results from an older model can never be replayed
+#: against a newer one.  Bump whenever a change affects cycles or counters
+#: without being visible in the machine/engine parameters — pipeline rules,
+#: latency formulas, feed-overhead constants, cache policy details.
+SIMULATOR_MODEL_VERSION = "1"
+
 
 @dataclass
 class SimulationResult:

@@ -151,7 +151,13 @@ class TraceSummary:
 
 
 def summarize_trace(trace: Iterable[TraceOp]) -> TraceSummary:
-    """Count the instruction mix of a trace."""
+    """Count the instruction mix of a trace.
+
+    Columnar traces (:class:`repro.cpu.columnar.ColumnarTrace`) answer from
+    their arrays via bincounts; anything else is walked op by op.
+    """
+    if getattr(trace, "has_columns", False):
+        return trace.summarize()
     summary = TraceSummary()
     for op in trace:
         summary.total += 1
@@ -227,8 +233,11 @@ def trace_memory_footprint(trace: Iterable[TraceOp]) -> List[Tuple[int, int]]:
     """Unique (address, nbytes) regions referenced by a trace.
 
     Used by the simulator to pre-warm the L2 when modelling the paper's
-    "data is prefetched into L2" assumption.
+    "data is prefetched into L2" assumption.  Columnar traces answer from
+    their address column via ``np.unique``.
     """
+    if getattr(trace, "has_columns", False):
+        return trace.memory_regions()
     regions = {}
     for op in trace:
         if op.kind is TraceOpKind.TILE and op.tile.memory is not None:

@@ -647,9 +647,44 @@ def scaling_spec(
 _SCALING_BASELINES: Dict[str, int] = {}
 
 
+class _SimulationBlockStore:
+    """Signature-keyed persistent store for per-core simulation payloads.
+
+    Adapts the content-addressed experiments cache to the duck-typed
+    ``get(key)`` / ``put(key, payload)`` interface
+    :func:`repro.cpu.multicore.simulate_multicore` expects.  Keys are the
+    full simulation keys of :func:`repro.cpu.multicore.simulation_cache_key`
+    — content-derived and process-independent — so per-core results recur
+    for free across trials, sweeps, worker processes and runs (e.g. the
+    ``cores=8`` and ``cores=16`` row-block trials of one workload share
+    their one-block-row core class).
+    """
+
+    _NAMESPACE = "simblocks"
+
+    def __init__(self, cache) -> None:
+        self._cache = cache
+
+    def get(self, key: str):
+        return self._cache.get(self._NAMESPACE, key)
+
+    def put(self, key: str, payload) -> None:
+        self._cache.put(self._NAMESPACE, key, payload)
+
+
+def _scaling_block_store():
+    """The persistent block store, or None when memoization is disabled."""
+    from ..cpu.multicore import memoization_enabled
+    from .cache import ResultCache
+
+    if not memoization_enabled():
+        return None
+    return _SimulationBlockStore(ResultCache())
+
+
 def _scaling_baseline_cycles(workload: Dict[str, Any], engine_name: str) -> int:
     """Cycles of the unsharded single-core kernel for one scaling workload."""
-    from ..cpu.simulator import CycleApproximateSimulator
+    from ..cpu.multicore import simulate_program_cached
     from ..kernels.sharding import shard_kernel
     from .spec import canonical_json
 
@@ -661,10 +696,12 @@ def _scaling_baseline_cycles(workload: Dict[str, Any], engine_name: str) -> int:
     program = shard_kernel(
         workload["kind"], shape, SparsityPattern(workload["pattern"]), 1
     ).programs[0]
-    result = CycleApproximateSimulator(
+    result = simulate_program_cached(
+        program,
         machine=MachineParams.from_dict(workload["machine"]),
         engine=resolve_engine(engine_name),
-    ).run(program.trace, block_starts=program.block_starts)
+        block_cache=_scaling_block_store(),
+    )
     _SCALING_BASELINES[key] = result.core_cycles
     return result.core_cycles
 
@@ -673,12 +710,15 @@ def _scaling_baseline_cycles(workload: Dict[str, Any], engine_name: str) -> int:
 def run_scaling_trial(params: Dict[str, Any]) -> Dict[str, Any]:
     """Simulate one (workload, cores, strategy) point of the scaling sweep.
 
-    The kernel's block grid is partitioned with the trial's strategy, every
-    per-core program runs the private fast-path simulator, and the shared
-    L3/DRAM arbiter converts cross-core miss traffic into the makespan the
-    speed-up is computed from.  Every trial also simulates the unsharded
-    single-core kernel as its own baseline; for ``cores == 1`` the row
-    records whether the sharded makespan matched it bit-for-bit (the
+    The kernel's block grid is partitioned with the trial's strategy, the
+    per-core programs run the private fast-path simulator deduplicated by
+    block-signature memoization (one simulation per signature class, with
+    the persistent store making equal classes recur for free across trials
+    and sweeps; ``REPRO_NO_MEMO=1`` disables it, bit-identically), and the
+    shared L3/DRAM arbiter converts cross-core miss traffic into the
+    makespan the speed-up is computed from.  Every trial also simulates the
+    unsharded single-core kernel as its own baseline; for ``cores == 1`` the
+    row records whether the sharded makespan matched it bit-for-bit (the
     invariant the multi-core model is built on).
     """
     from ..cpu.multicore import SharedMemoryParams, simulate_multicore
@@ -695,7 +735,11 @@ def run_scaling_trial(params: Dict[str, Any]) -> Dict[str, Any]:
 
     sharded = shard_kernel(workload["kind"], shape, pattern, cores, strategy)
     result = simulate_multicore(
-        sharded.programs, machine=machine, engine=engine, shared=shared
+        sharded.programs,
+        machine=machine,
+        engine=engine,
+        shared=shared,
+        block_cache=_scaling_block_store(),
     )
     single_cycles = _scaling_baseline_cycles(workload, params["engine"])
     speedup = result.speedup_over(single_cycles)

@@ -24,10 +24,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import isa
+from ..core.isa import Opcode
 from ..core.memory_image import ByteMemory
 from ..core.registers import treg
-from ..cpu.trace import TraceOp, branch_op, scalar_op, tile_op
+from ..cpu.columnar import TraceBuilder
 from ..errors import KernelError
 from ..types import DType, GemmShape, SparsityPattern
 from .program import KernelProgram
@@ -193,7 +193,7 @@ def build_dense_gemm_kernel(
         memory = ByteMemory()
         _fill_dense_operands(memory, grid, layouts, a, b)
 
-    trace: List[TraceOp] = []
+    trace = TraceBuilder()
     block_starts: List[int] = []
     emitted = 0
 
@@ -232,55 +232,38 @@ def build_dense_gemm_kernel(
             emitted += len(tiles)
             block_starts.append(len(trace))
             if include_loop_overhead:
-                trace.extend(
-                    scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS)
-                )
-                trace.append(branch_op("tile-loop"))
+                for _ in range(TILE_LOOP_SCALARS):
+                    trace.scalar("tile-loop")
+                trace.branch("tile-loop")
             for slot, i, j in tiles:
-                trace.append(
-                    tile_op(
-                        isa.tile_load_t(
-                            c_regs[slot], layouts["c"].tile_address(i, j), "load C"
-                        )
-                    )
+                trace.tile_load_t(
+                    c_regs[slot], layouts["c"].tile_address(i, j), "load C"
                 )
             for k in range(grid.tiles_k):
                 for index, i in enumerate(dict.fromkeys((i0, i1))):
-                    trace.append(
-                        tile_op(
-                            isa.tile_load_t(
-                                a_regs[index], layouts["a"].tile_address(i, k), "load A"
-                            )
-                        )
+                    trace.tile_load_t(
+                        a_regs[index], layouts["a"].tile_address(i, k), "load A"
                     )
                 for index, j in enumerate(dict.fromkeys((j0, j1))):
-                    trace.append(
-                        tile_op(
-                            isa.tile_load_t(
-                                b_regs[index], layouts["b"].tile_address(j, k), "load B"
-                            )
-                        )
+                    trace.tile_load_t(
+                        b_regs[index], layouts["b"].tile_address(j, k), "load B"
                     )
                 row_index = {i: idx for idx, i in enumerate(dict.fromkeys((i0, i1)))}
                 col_index = {j: idx for idx, j in enumerate(dict.fromkeys((j0, j1)))}
                 for slot, i, j in tiles:
-                    trace.append(
-                        tile_op(
-                            isa.tile_gemm(
-                                c_regs[slot], a_regs[row_index[i]], b_regs[col_index[j]]
-                            )
-                        )
+                    trace.tile_compute(
+                        Opcode.TILE_GEMM,
+                        c_regs[slot],
+                        a_regs[row_index[i]],
+                        b_regs[col_index[j]],
                     )
                 if include_loop_overhead:
-                    trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
-                    trace.append(branch_op("k-loop"))
+                    for _ in range(K_LOOP_SCALARS):
+                        trace.scalar("k-loop")
+                    trace.branch("k-loop")
             for slot, i, j in tiles:
-                trace.append(
-                    tile_op(
-                        isa.tile_store_t(
-                            layouts["c"].tile_address(i, j), c_regs[slot], "store C"
-                        )
-                    )
+                trace.tile_store_t(
+                    layouts["c"].tile_address(i, j), c_regs[slot], "store C"
                 )
     else:  # listing1
         c_reg = treg(0)
@@ -303,21 +286,19 @@ def build_dense_gemm_kernel(
             block_starts.append(len(trace))
             c_address = layouts["c"].tile_address(i, j)
             if include_loop_overhead:
-                trace.extend(scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS))
-                trace.append(branch_op("tile-loop"))
+                for _ in range(TILE_LOOP_SCALARS):
+                    trace.scalar("tile-loop")
+                trace.branch("tile-loop")
             for k in range(grid.tiles_k):
-                trace.append(
-                    tile_op(isa.tile_load_t(b_reg, layouts["b"].tile_address(j, k), "load B"))
-                )
-                trace.append(tile_op(isa.tile_load_t(c_reg, c_address, "load C")))
-                trace.append(
-                    tile_op(isa.tile_load_t(a_reg, layouts["a"].tile_address(i, k), "load A"))
-                )
-                trace.append(tile_op(isa.tile_gemm(c_reg, a_reg, b_reg)))
-                trace.append(tile_op(isa.tile_store_t(c_address, c_reg, "store C")))
+                trace.tile_load_t(b_reg, layouts["b"].tile_address(j, k), "load B")
+                trace.tile_load_t(c_reg, c_address, "load C")
+                trace.tile_load_t(a_reg, layouts["a"].tile_address(i, k), "load A")
+                trace.tile_compute(Opcode.TILE_GEMM, c_reg, a_reg, b_reg)
+                trace.tile_store_t(c_address, c_reg, "store C")
                 if include_loop_overhead:
-                    trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
-                    trace.append(branch_op("k-loop"))
+                    for _ in range(K_LOOP_SCALARS):
+                        trace.scalar("k-loop")
+                    trace.branch("k-loop")
 
     traced = emitted if max_output_tiles is not None else total_tiles
     return KernelProgram(

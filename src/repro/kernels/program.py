@@ -9,11 +9,12 @@ and (c) report instruction-mix statistics (Figure 4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.memory_image import ByteMemory
+from ..cpu.columnar import ColumnarTrace, TraceBuilder
 from ..cpu.trace import TraceOp, TraceSummary, summarize_trace
 from ..errors import KernelError
 from ..types import DType, GemmShape, SparsityPattern
@@ -27,7 +28,11 @@ class KernelProgram:
     Attributes
     ----------
     trace:
-        The dynamic instruction trace in program order.
+        The dynamic instruction trace in program order.  Builders hand over a
+        :class:`~repro.cpu.columnar.TraceBuilder` (or a plain ``TraceOp``
+        list); it is normalised to a :class:`~repro.cpu.columnar.ColumnarTrace`
+        on construction, so every consumer sees one sequence type with
+        vectorised whole-trace views.
     shape:
         The (unpadded) GEMM problem dimensions.
     pattern:
@@ -55,7 +60,7 @@ class KernelProgram:
         declare (the simulator then falls back to signature detection).
     """
 
-    trace: List[TraceOp]
+    trace: Union[ColumnarTrace, TraceBuilder, List[TraceOp]]
     shape: GemmShape
     pattern: SparsityPattern
     memory: Optional[ByteMemory] = None
@@ -71,6 +76,10 @@ class KernelProgram:
             raise KernelError(
                 f"simulated_fraction must be in (0, 1], got {self.simulated_fraction}"
             )
+        if isinstance(self.trace, TraceBuilder):
+            self.trace = self.trace.finish()
+        elif not isinstance(self.trace, ColumnarTrace):
+            self.trace = ColumnarTrace.from_ops(self.trace)
 
     @property
     def instruction_count(self) -> int:

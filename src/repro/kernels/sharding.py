@@ -13,6 +13,12 @@ the union of all shards covers the output-tile grid exactly once.
 The per-core programs are then simulated together by
 :func:`repro.cpu.multicore.simulate_multicore`, which adds the shared-L3 /
 DRAM bandwidth arbitration the private per-core simulators cannot see.
+Because the builders emit columnar traces
+(:class:`repro.cpu.columnar.ColumnarTrace`), the per-core programs carry
+content-derived simulation keys: the address-shifted shards of one kernel
+collapse into a few signature-equivalence classes, of which the multi-core
+simulator runs one representative each (see the block-signature
+memoization notes in ``repro.cpu.multicore``).
 """
 
 from __future__ import annotations

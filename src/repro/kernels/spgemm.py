@@ -34,10 +34,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import isa
+from ..core.isa import Opcode
 from ..core.memory_image import ByteMemory
 from ..core.registers import mreg, treg
-from ..cpu.trace import TraceOp, branch_op, scalar_op, tile_op
+from ..cpu.columnar import TraceBuilder
 from ..errors import KernelError
 from ..sparse.blocks import satisfies_pattern
 from ..sparse.compress import compress
@@ -242,10 +242,10 @@ def build_spgemm_kernel(
     c_regs = (treg(0), treg(1))
     a_regs = (treg(2), treg(3))
     b_reg = treg(4)
-    spgemm = (
-        isa.tile_spgemm_u
+    spgemm_opcode = (
+        Opcode.TILE_SPGEMM_U
         if pattern is SparsityPattern.SPARSE_2_4
-        else isa.tile_spgemm_v
+        else Opcode.TILE_SPGEMM_V
     )
 
     block_rows = interleaved_block_rows(grid.tiles_m)
@@ -259,7 +259,7 @@ def build_spgemm_kernel(
     traced_tiles = total_tiles if max_output_tiles is None else min(
         max_output_tiles, total_tiles
     )
-    trace: List[TraceOp] = []
+    trace = TraceBuilder()
     block_starts: List[int] = []
     emitted = 0
     for bi, j in chosen:
@@ -269,60 +269,38 @@ def build_spgemm_kernel(
         emitted += len(i_block)
         block_starts.append(len(trace))
         if include_loop_overhead:
-            trace.extend(scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS))
-            trace.append(branch_op("tile-loop"))
+            for _ in range(TILE_LOOP_SCALARS):
+                trace.scalar("tile-loop")
+            trace.branch("tile-loop")
         for slot, i in enumerate(i_block):
-            trace.append(
-                tile_op(
-                    isa.tile_load_t(
-                        c_regs[slot], layouts["c"].tile_address(i, j), "load C"
-                    )
-                )
+            trace.tile_load_t(
+                c_regs[slot], layouts["c"].tile_address(i, j), "load C"
             )
         for k in range(grid.tiles_k):
             for slot, i in enumerate(i_block):
-                trace.append(
-                    tile_op(
-                        isa.tile_load_t(
-                            a_regs[slot], layouts["a"].tile_address(i, k), "load A"
-                        )
-                    )
+                trace.tile_load_t(
+                    a_regs[slot], layouts["a"].tile_address(i, k), "load A"
                 )
-                trace.append(
-                    tile_op(
-                        isa.tile_load_m(
-                            mreg(a_regs[slot].index),
-                            layouts["a_metadata"].tile_address(i, k),
-                            "load A-MD",
-                        )
-                    )
+                trace.tile_load_m(
+                    mreg(a_regs[slot].index),
+                    layouts["a_metadata"].tile_address(i, k),
+                    "load A-MD",
                 )
-            trace.append(
-                tile_op(
-                    isa.tile_load_t(b_reg, layouts["b"].tile_address(j, k), "load B")
-                )
-            )
-            trace.append(
-                tile_op(
-                    isa.tile_load_m(
-                        mreg(b_reg.index),
-                        layouts["b_metadata"].tile_address(j, k),
-                        "load B-MD",
-                    )
-                )
+            trace.tile_load_t(b_reg, layouts["b"].tile_address(j, k), "load B")
+            trace.tile_load_m(
+                mreg(b_reg.index),
+                layouts["b_metadata"].tile_address(j, k),
+                "load B-MD",
             )
             for slot, i in enumerate(i_block):
-                trace.append(tile_op(spgemm(c_regs[slot], a_regs[slot], b_reg)))
+                trace.tile_compute(spgemm_opcode, c_regs[slot], a_regs[slot], b_reg)
             if include_loop_overhead:
-                trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
-                trace.append(branch_op("k-loop"))
+                for _ in range(K_LOOP_SCALARS):
+                    trace.scalar("k-loop")
+                trace.branch("k-loop")
         for slot, i in enumerate(i_block):
-            trace.append(
-                tile_op(
-                    isa.tile_store_t(
-                        layouts["c"].tile_address(i, j), c_regs[slot], "store C"
-                    )
-                )
+            trace.tile_store_t(
+                layouts["c"].tile_address(i, j), c_regs[slot], "store C"
             )
 
     traced = emitted if max_output_tiles is not None else total_tiles

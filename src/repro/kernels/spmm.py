@@ -22,11 +22,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import isa
+from ..core.isa import Opcode
 from ..core.memory_image import ByteMemory
 from ..core.registers import mreg, treg, ureg, vreg
 from ..core.rowwise_mapping import RowWiseMappingPlan, pack_rows
-from ..cpu.trace import TraceOp, branch_op, scalar_op, tile_op
+from ..cpu.columnar import TraceBuilder
 from ..errors import KernelError
 from ..sparse.blocks import minimal_row_patterns, satisfies_pattern
 from ..sparse.compress import compress
@@ -150,12 +150,12 @@ def build_spmm_kernel(
     a_regs = (treg(2), treg(3))
     if is_2_4:
         b_reg = ureg(2)  # tregs 4-5
-        load_b = isa.tile_load_u
-        spmm = isa.tile_spmm_u
+        load_b_opcode = Opcode.TILE_LOAD_U
+        spmm_opcode = Opcode.TILE_SPMM_U
     else:
         b_reg = vreg(1)  # tregs 4-7
-        load_b = isa.tile_load_v
-        spmm = isa.tile_spmm_v
+        load_b_opcode = Opcode.TILE_LOAD_V
+        spmm_opcode = Opcode.TILE_SPMM_V
 
     block_rows = interleaved_block_rows(grid.tiles_m)
     if blocks is None:
@@ -168,7 +168,7 @@ def build_spmm_kernel(
     traced_tiles = total_tiles if max_output_tiles is None else min(
         max_output_tiles, total_tiles
     )
-    trace: List[TraceOp] = []
+    trace = TraceBuilder()
     block_starts: List[int] = []
     emitted = 0
     for bi, j in chosen:
@@ -178,49 +178,33 @@ def build_spmm_kernel(
         emitted += len(i_block)
         block_starts.append(len(trace))
         if include_loop_overhead:
-            trace.extend(scalar_op("tile-loop") for _ in range(TILE_LOOP_SCALARS))
-            trace.append(branch_op("tile-loop"))
+            for _ in range(TILE_LOOP_SCALARS):
+                trace.scalar("tile-loop")
+            trace.branch("tile-loop")
         for slot, i in enumerate(i_block):
-            trace.append(
-                tile_op(
-                    isa.tile_load_t(
-                        c_regs[slot], layouts["c"].tile_address(i, j), "load C"
-                    )
-                )
+            trace.tile_load_t(
+                c_regs[slot], layouts["c"].tile_address(i, j), "load C"
             )
         for k in range(grid.tiles_k):
             for slot, i in enumerate(i_block):
-                trace.append(
-                    tile_op(
-                        isa.tile_load_t(
-                            a_regs[slot], layouts["a"].tile_address(i, k), "load A"
-                        )
-                    )
+                trace.tile_load_t(
+                    a_regs[slot], layouts["a"].tile_address(i, k), "load A"
                 )
-                trace.append(
-                    tile_op(
-                        isa.tile_load_m(
-                            mreg(a_regs[slot].index),
-                            metadata_layout.tile_address(i, k),
-                            "load MD",
-                        )
-                    )
+                trace.tile_load_m(
+                    mreg(a_regs[slot].index),
+                    metadata_layout.tile_address(i, k),
+                    "load MD",
                 )
-            trace.append(
-                tile_op(load_b(b_reg, layouts["b"].tile_address(j, k), "load B"))
-            )
+            trace.tile_load(load_b_opcode, b_reg, layouts["b"].tile_address(j, k), "load B")
             for slot, i in enumerate(i_block):
-                trace.append(tile_op(spmm(c_regs[slot], a_regs[slot], b_reg)))
+                trace.tile_compute(spmm_opcode, c_regs[slot], a_regs[slot], b_reg)
             if include_loop_overhead:
-                trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
-                trace.append(branch_op("k-loop"))
+                for _ in range(K_LOOP_SCALARS):
+                    trace.scalar("k-loop")
+                trace.branch("k-loop")
         for slot, i in enumerate(i_block):
-            trace.append(
-                tile_op(
-                    isa.tile_store_t(
-                        layouts["c"].tile_address(i, j), c_regs[slot], "store C"
-                    )
-                )
+            trace.tile_store_t(
+                layouts["c"].tile_address(i, j), c_regs[slot], "store C"
             )
 
     traced = emitted if max_output_tiles is not None else total_tiles
@@ -380,7 +364,7 @@ def build_rowwise_spmm_kernel(
             )
 
     # -- trace emission ------------------------------------------------------------
-    trace: List[TraceOp] = []
+    trace = TraceBuilder()
     c_acc = ureg(0)  # tregs 0-1: up to 32 output rows
     a_reg = treg(2)
     b_reg = ureg(2)  # tregs 4-5
@@ -399,39 +383,29 @@ def build_rowwise_spmm_kernel(
                 (start_row * TILE_N) + j * padded_rows * TILE_N
             ) * 4
             if include_loop_overhead:
-                trace.extend(scalar_op("group-loop") for _ in range(TILE_LOOP_SCALARS))
-                trace.append(branch_op("group-loop"))
-            trace.append(tile_op(isa.tile_load_u(c_acc, c_address, "load C group")))
+                for _ in range(TILE_LOOP_SCALARS):
+                    trace.scalar("group-loop")
+                trace.branch("group-loop")
+            trace.tile_load_u(c_acc, c_address, "load C group")
             for chunk in range(k_chunks):
-                trace.append(
-                    tile_op(
-                        isa.tile_load_t(
-                            a_reg, a_layout.tile_address(group_index, chunk), "load A"
-                        )
-                    )
+                trace.tile_load_t(
+                    a_reg, a_layout.tile_address(group_index, chunk), "load A"
                 )
-                trace.append(
-                    tile_op(
-                        isa.tile_load_m(
-                            mreg(a_reg.index),
-                            metadata_layout.tile_address(group_index, chunk),
-                            "load MD",
-                        )
-                    )
+                trace.tile_load_m(
+                    mreg(a_reg.index),
+                    metadata_layout.tile_address(group_index, chunk),
+                    "load MD",
                 )
-                trace.append(
-                    tile_op(isa.tile_load_u(b_reg, b_layout.tile_address(j, chunk), "load B"))
-                )
-                trace.append(tile_op(isa.tile_spmm_r(c_acc, a_reg, b_reg)))
+                trace.tile_load_u(b_reg, b_layout.tile_address(j, chunk), "load B")
+                trace.tile_compute(Opcode.TILE_SPMM_R, c_acc, a_reg, b_reg)
                 if include_loop_overhead:
-                    trace.extend(scalar_op("k-loop") for _ in range(K_LOOP_SCALARS))
-                    trace.append(branch_op("k-loop"))
+                    for _ in range(K_LOOP_SCALARS):
+                        trace.scalar("k-loop")
+                    trace.branch("k-loop")
             # Store back the group's rows (two tregs cover the 32-row window).
-            trace.append(tile_op(isa.tile_store_t(c_address, treg(0), "store C lo")))
+            trace.tile_store_t(c_address, treg(0), "store C lo")
             if group.output_rows > TILE_M:
-                trace.append(
-                    tile_op(isa.tile_store_t(c_address + 1024, treg(1), "store C hi"))
-                )
+                trace.tile_store_t(c_address + 1024, treg(1), "store C hi")
 
     # The C image is organised as column panels of padded_rows x 16; express it
     # through the standard tile layout for read_result by noting that panel j,

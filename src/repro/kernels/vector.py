@@ -15,9 +15,9 @@ by numpy in the tests, since vector semantics are standard.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from ..cpu.trace import TraceOp, branch_op, scalar_op, vector_fma, vector_load, vector_store
+from ..cpu.columnar import TraceBuilder
 from ..errors import KernelError
 from ..types import GemmShape
 from .program import KernelProgram
@@ -73,7 +73,7 @@ def build_vector_gemm_kernel(
         max_row_blocks, row_blocks
     )
 
-    trace: List[TraceOp] = []
+    trace = TraceBuilder()
     next_reg = 0
 
     def fresh_reg() -> int:
@@ -87,8 +87,9 @@ def build_vector_gemm_kernel(
         for col_block in range(n_blocks):
             emitted_blocks += 1
             if include_loop_overhead:
-                trace.extend(scalar_op("block-loop") for _ in range(4))
-                trace.append(branch_op("block-loop"))
+                for _ in range(4):
+                    trace.scalar("block-loop")
+                trace.branch("block-loop")
             # Load the MR x 32 C accumulators.
             accumulators = []
             for row in range(mr):
@@ -97,28 +98,26 @@ def build_vector_gemm_kernel(
                 address = c_base + (
                     (row_block * mr + row) * padded_n + col_block * VECTOR_ELEMENTS
                 ) * 2
-                trace.append(vector_load(register, address, VECTOR_BYTES, "load C"))
+                trace.vector_load(register, address, VECTOR_BYTES, "load C")
             for k in range(padded_k):
                 # One B vector serves all MR rows.
                 b_register = fresh_reg()
                 b_address = b_base + (k * padded_n + col_block * VECTOR_ELEMENTS) * 2
-                trace.append(vector_load(b_register, b_address, VECTOR_BYTES, "load B"))
+                trace.vector_load(b_register, b_address, VECTOR_BYTES, "load B")
                 for row in range(mr):
                     # The broadcast of A[row][k] is a memory operand folded
                     # into the FMA (as AVX-512 embedded-broadcast FMAs do), so
                     # it does not cost a separate dynamic instruction; its
                     # 2-byte traffic is negligible and L1-resident.
-                    trace.append(
-                        vector_fma(accumulators[row], (b_register,), "fma+bcast A")
-                    )
+                    trace.vector_fma(accumulators[row], (b_register,), "fma+bcast A")
                 if include_loop_overhead:
-                    trace.append(scalar_op("k-loop"))
-                    trace.append(branch_op("k-loop"))
+                    trace.scalar("k-loop")
+                    trace.branch("k-loop")
             for row in range(mr):
                 address = c_base + (
                     (row_block * mr + row) * padded_n + col_block * VECTOR_ELEMENTS
                 ) * 2
-                trace.append(vector_store(accumulators[row], address, VECTOR_BYTES, "store C"))
+                trace.vector_store(accumulators[row], address, VECTOR_BYTES, "store C")
 
     simulated_fraction = (
         emitted_blocks / total_blocks if total_blocks else 1.0

@@ -1,0 +1,98 @@
+"""Tests for the simulator benchmark: payload shape, paths, regression gate."""
+
+import json
+from pathlib import Path
+
+from repro.__main__ import main
+from repro.analysis.bench import (
+    DEFAULT_BENCH_PATH,
+    DEFAULT_MULTICORE_WORKLOADS,
+    DEFAULT_WORKLOADS,
+    QUICK_MULTICORE_WORKLOADS,
+    QUICK_WORKLOADS,
+    compare_benchmarks,
+)
+
+
+class TestDefaultPath:
+    def test_anchored_to_repo_root_not_cwd(self):
+        # `repro bench` must write into the repository root regardless of the
+        # CWD (the repo root is the directory holding pyproject.toml).
+        path = Path(DEFAULT_BENCH_PATH)
+        assert path.name == "BENCH_simulator.json"
+        assert path.is_absolute()
+        assert (path.parent / "pyproject.toml").exists()
+
+
+class TestQuickSuite:
+    def test_quick_workloads_are_subsets_of_the_default_suite(self):
+        # `--quick --check` compares by name against the committed full-suite
+        # baseline, so every quick workload must exist there.
+        default_names = {workload.name for workload in DEFAULT_WORKLOADS}
+        assert QUICK_WORKLOADS and {w.name for w in QUICK_WORKLOADS} <= default_names
+        default_multicore = {w.name for w in DEFAULT_MULTICORE_WORKLOADS}
+        assert QUICK_MULTICORE_WORKLOADS
+        assert {w.name for w in QUICK_MULTICORE_WORKLOADS} <= default_multicore
+
+
+def payload(single=(), multicore=()):
+    return {
+        "workloads": [
+            {"name": name, "fast_ops_per_sec": value} for name, value in single
+        ],
+        "multicore_workloads": [
+            {"name": name, "memo_ops_per_sec": value} for name, value in multicore
+        ],
+    }
+
+
+class TestCompare:
+    def test_equal_payloads_pass(self):
+        current = payload([("a", 1000.0)], [("m", 500.0)])
+        assert compare_benchmarks(current, current) == []
+
+    def test_large_drop_is_flagged(self):
+        baseline = payload([("a", 1000.0)], [("m", 500.0)])
+        current = payload([("a", 600.0)], [("m", 500.0)])
+        regressions = compare_benchmarks(current, baseline)
+        assert len(regressions) == 1 and "a" in regressions[0]
+
+    def test_multicore_drop_is_flagged(self):
+        baseline = payload([("a", 1000.0)], [("m", 500.0)])
+        current = payload([("a", 1000.0)], [("m", 100.0)])
+        regressions = compare_benchmarks(current, baseline)
+        assert len(regressions) == 1 and "m" in regressions[0]
+
+    def test_small_drop_and_improvement_pass(self):
+        baseline = payload([("a", 1000.0), ("b", 1000.0)])
+        current = payload([("a", 800.0), ("b", 2000.0)])
+        assert compare_benchmarks(current, baseline) == []
+
+    def test_non_overlapping_names_are_ignored(self):
+        baseline = payload([("full-suite-only", 1e9)])
+        current = payload([("quick-only", 1.0)])
+        assert compare_benchmarks(current, baseline) == []
+
+
+class TestCheckCli:
+    def test_check_gates_on_committed_baseline(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--shape", "64x64x128", "--out", str(out)]) == 0
+        measured = json.loads(out.read_text())
+
+        same = tmp_path / "baseline-same.json"
+        same.write_text(json.dumps(measured))
+        assert (
+            main(["bench", "--shape", "64x64x128", "--out", str(out), "--check", str(same)])
+            == 0
+        )
+
+        inflated = json.loads(out.read_text())
+        for row in inflated["workloads"]:
+            row["fast_ops_per_sec"] *= 100.0
+        bad = tmp_path / "baseline-fast.json"
+        bad.write_text(json.dumps(inflated))
+        assert (
+            main(["bench", "--shape", "64x64x128", "--out", str(out), "--check", str(bad)])
+            == 1
+        )

@@ -1,0 +1,191 @@
+"""Tests for the columnar trace representation and its vectorised views."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import isa
+from repro.core.registers import treg
+from repro.cpu.cache import Cache
+from repro.cpu.columnar import ColumnarTrace, TraceBuilder, lru_outcome_bits
+from repro.cpu.fastsim import lower_signatures, op_signature
+from repro.cpu.params import CacheParams, default_machine
+from repro.cpu.trace import (
+    TraceOp,
+    TraceOpKind,
+    summarize_trace,
+    trace_memory_footprint,
+    tile_op,
+    vector_fma,
+)
+from repro.kernels.gemm import build_dense_gemm_kernel
+from repro.kernels.spgemm import build_spgemm_kernel
+from repro.kernels.spmm import build_spmm_kernel
+from repro.kernels.vector import build_vector_gemm_kernel
+from repro.types import GemmShape, SparsityPattern
+
+
+def all_programs():
+    shape = GemmShape(64, 64, 256)
+    return [
+        build_dense_gemm_kernel(shape),
+        build_dense_gemm_kernel(shape, variant="listing1"),
+        build_spmm_kernel(shape, SparsityPattern.SPARSE_2_4),
+        build_spmm_kernel(shape, SparsityPattern.SPARSE_1_4),
+        build_spgemm_kernel(shape, SparsityPattern.SPARSE_2_4),
+        build_vector_gemm_kernel(GemmShape(16, 64, 64)),
+    ]
+
+
+class TestColumnarParity:
+    """The columnar views agree with the op-by-op reference computations."""
+
+    @pytest.mark.parametrize("program", all_programs(), ids=lambda p: p.label)
+    def test_materialised_ops_roundtrip(self, program):
+        # Re-materialising from columns alone reproduces the op objects the
+        # legacy builders would have produced, field for field.
+        trace = program.trace
+        assert trace.has_columns
+        rebuilt = ColumnarTrace(columns=trace.columns, labels=trace.labels)
+        assert list(rebuilt) == list(trace)
+
+    @pytest.mark.parametrize("program", all_programs(), ids=lambda p: p.label)
+    def test_signature_ids_match_interning(self, program):
+        ops = list(program.trace)
+        table = {}
+        expected = []
+        for op in ops:
+            key = op_signature(op)
+            expected.append(table.setdefault(key, len(table)))
+        assert np.array_equal(program.trace.signature_ids(), np.array(expected))
+
+    @pytest.mark.parametrize("program", all_programs(), ids=lambda p: p.label)
+    def test_summaries_and_footprints(self, program):
+        ops = list(program.trace)
+        assert program.trace.summarize() == summarize_trace(ops)
+        assert program.trace.summarize_span(3, 41) == summarize_trace(ops[3:41])
+        assert program.trace.memory_regions() == sorted(
+            {
+                (op.tile.memory.address, op.tile.memory.nbytes)
+                if op.kind is TraceOpKind.TILE and op.tile.memory is not None
+                else (op.address, op.nbytes)
+                for op in ops
+                if (op.kind is TraceOpKind.TILE and op.tile.memory is not None)
+                or op.address is not None
+            }
+        )
+
+    def test_from_ops_equals_builder_columns(self):
+        program = build_dense_gemm_kernel(GemmShape(64, 64, 128))
+        converted = ColumnarTrace.from_ops(list(program.trace))
+        assert np.array_equal(converted.columns, program.trace.columns)
+        assert converted.labels == program.trace.labels
+
+
+class TestDeterministicIds:
+    def test_first_appearance_order(self):
+        ids = build_dense_gemm_kernel(GemmShape(64, 64, 128)).trace.signature_ids()
+        seen = set()
+        expected_next = 0
+        for value in ids:
+            if value not in seen:
+                assert value == expected_next
+                seen.add(value)
+                expected_next += 1
+
+    def test_lower_signatures_dispatches_to_columns(self):
+        program = build_dense_gemm_kernel(GemmShape(64, 64, 128))
+        assert np.array_equal(
+            lower_signatures(program.trace), lower_signatures(list(program.trace))
+        )
+
+
+class TestGracefulFallback:
+    def test_inexpressible_op_keeps_sequence_behaviour(self):
+        # A three-source FMA does not fit the two-register columns; the trace
+        # must still behave as a sequence, with the vectorised views off.
+        ops = [vector_fma(0, (1, 2, 3)), vector_fma(0, (1, 2, 3))]
+        trace = ColumnarTrace.from_ops(ops)
+        assert not trace.has_columns
+        assert list(trace) == ops
+        assert len(trace) == 2
+
+    def test_labelled_tile_op_falls_back(self):
+        # Builders never label the TraceOp wrapper of a tile instruction;
+        # foreign traces that do cannot be expressed columnar.
+        op = tile_op(isa.tile_load_t(treg(0), 0x100, "load"), label="wrapper")
+        trace = ColumnarTrace.from_ops([op])
+        assert not trace.has_columns
+        assert trace[0] == op
+
+
+class TestLazyMaterialisation:
+    def test_ops_span_fills_only_the_span(self):
+        program = build_dense_gemm_kernel(GemmShape(64, 64, 256))
+        trace = ColumnarTrace(
+            columns=program.trace.columns, labels=program.trace.labels
+        )
+        buffer = trace.ops_span(10, 20)
+        assert all(isinstance(op, TraceOp) for op in buffer[10:20])
+        assert buffer[0] is None and buffer[25] is None
+        # Full materialisation still works afterwards and agrees.
+        assert trace.ops()[10:20] == buffer[10:20]
+
+    def test_pickle_ships_columns_not_ops(self):
+        program = build_dense_gemm_kernel(GemmShape(64, 64, 128))
+        trace = program.trace
+        trace.ops()  # populate the cache
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone._ops is None
+        assert list(clone) == list(trace)
+
+
+class TestLruOutcomeReplay:
+    def test_matches_cache_model_on_random_streams(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            num_sets = int(rng.integers(2, 16))
+            associativity = int(rng.integers(1, 5))
+            ids = rng.integers(0, num_sets * associativity * 3, size=300)
+            cache = Cache(
+                CacheParams(
+                    name="t",
+                    capacity_bytes=num_sets * associativity * 64,
+                    associativity=associativity,
+                    line_bytes=64,
+                )
+            )
+            reference = np.array([cache.access(int(i) * 64) for i in ids])
+            assert np.array_equal(
+                reference, lru_outcome_bits(ids, num_sets, associativity)
+            )
+
+
+class TestSimulationKey:
+    def test_rebuilt_kernel_shares_key(self):
+        machine = default_machine()
+        first = build_dense_gemm_kernel(GemmShape(64, 64, 256))
+        second = build_dense_gemm_kernel(GemmShape(64, 64, 256))
+        assert first.trace.simulation_key(machine, first.block_starts) == (
+            second.trace.simulation_key(machine, second.block_starts)
+        )
+
+    def test_key_sees_structural_differences(self):
+        machine = default_machine()
+        base = build_dense_gemm_kernel(GemmShape(64, 64, 256))
+        other = build_dense_gemm_kernel(GemmShape(64, 64, 512))
+        assert base.trace.simulation_key(machine, base.block_starts) != (
+            other.trace.simulation_key(machine, other.block_starts)
+        )
+
+    def test_key_includes_block_hints(self):
+        machine = default_machine()
+        program = build_dense_gemm_kernel(GemmShape(64, 64, 256))
+        with_hints = program.trace.simulation_key(machine, program.block_starts)
+        without = program.trace.simulation_key(machine, None)
+        assert with_hints != without
+
+    def test_empty_trace_has_a_key(self):
+        empty = TraceBuilder().finish()
+        assert empty.simulation_key(default_machine(), None) is not None
