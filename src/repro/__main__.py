@@ -24,7 +24,7 @@ import argparse
 import sys
 from typing import Any, Dict, List, Optional
 
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
 from .experiments.cache import ResultCache
 from .experiments.registry import list_experiments
 from .experiments.results import ResultTable, format_table
@@ -125,6 +125,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the scaled-down smoke workload set",
     )
     bench.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "benchmark only the named workload (repeatable; matches both the "
+            "single-core and multi-core suites by name)"
+        ),
+    )
+    bench.add_argument(
         "--check",
         nargs="?",
         const="",
@@ -198,6 +208,7 @@ def _command_run(args: argparse.Namespace) -> int:
 def _command_bench(args: argparse.Namespace) -> int:
     from .analysis.bench import (
         DEFAULT_BENCH_PATH,
+        DEFAULT_MULTICORE_WORKLOADS,
         DEFAULT_WORKLOADS,
         QUICK_MULTICORE_WORKLOADS,
         QUICK_WORKLOADS,
@@ -206,13 +217,16 @@ def _command_bench(args: argparse.Namespace) -> int:
         compare_benchmarks,
         load_benchmark,
         parse_shape,
+        select_workloads,
         write_benchmark,
     )
     from .types import SparsityPattern
 
     multicore_workloads = None
-    full_suite = args.shape is None and not args.quick
+    full_suite = args.shape is None and not args.quick and not args.workload
     if args.shape is not None:
+        if args.workload:
+            raise ConfigurationError("--shape and --workload are mutually exclusive")
         shape = parse_shape(args.shape)
         workloads = (
             BenchWorkload(
@@ -231,6 +245,14 @@ def _command_bench(args: argparse.Namespace) -> int:
         multicore_workloads = QUICK_MULTICORE_WORKLOADS
     else:
         workloads = DEFAULT_WORKLOADS
+    if args.workload:
+        workloads, multicore_workloads = select_workloads(
+            args.workload,
+            workloads,
+            multicore_workloads
+            if multicore_workloads is not None
+            else DEFAULT_MULTICORE_WORKLOADS,
+        )
 
     baseline = None
     if args.check is not None:

@@ -34,7 +34,10 @@ from .runtime import resolve_engine
 #: Schema version of the emitted JSON payload.
 #: v2: multicore memoization rows, per-workload ``trace_ops_per_sec``, and
 #: the repo-root default output path.
-BENCH_SCHEMA_VERSION = 2
+#: v3: per-workload fast-path coverage (``fast_blocks_stepped`` /
+#: ``fast_blocks_skipped`` / ``fast_coverage``) and absolute speedup floors
+#: enforced by ``--check``.
+BENCH_SCHEMA_VERSION = 3
 
 def _default_bench_path() -> str:
     """The repo-root payload path, regardless of the CLI's CWD.
@@ -56,6 +59,17 @@ DEFAULT_BENCH_PATH = _default_bench_path()
 
 #: Throughput-regression gate of ``repro bench --check``.
 REGRESSION_THRESHOLD = 0.30
+
+#: Absolute fast-vs-exact speedup floors ``--check`` enforces per workload,
+#: independent of the committed baseline.  These encode the structural
+#: guarantees of the fast path — the SpGEMM kernel's padded layouts and
+#: issue-aligned blocks must keep the steady-state detector locked (≥ 8x
+#: means nearly all of its 128 blocks were skipped, not stepped), so a change
+#: that silently knocks the kernel out of the fast path fails the gate even
+#: if wall-clock throughput only regresses gradually.
+SPEEDUP_FLOORS: Dict[str, float] = {
+    "spgemm-2:4-256x256x1024": 8.0,
+}
 
 
 @dataclass(frozen=True)
@@ -182,6 +196,38 @@ QUICK_MULTICORE_WORKLOADS = tuple(
 )
 
 
+def select_workloads(
+    names: Sequence[str],
+    workloads: Sequence[BenchWorkload],
+    multicore_workloads: Sequence[MulticoreBenchWorkload],
+) -> tuple:
+    """Restrict both benchmark suites to the given workload names.
+
+    Backs ``repro bench --workload``: each requested name must match a
+    workload in one of the suites (single-core and multi-core names share a
+    namespace), and the suite order is preserved so a filtered run measures
+    the same rows a full run would.
+    """
+    known = {workload.name for workload in workloads} | {
+        workload.name for workload in multicore_workloads
+    }
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown workload(s) {', '.join(sorted(unknown))}; "
+            f"available: {', '.join(sorted(known))}"
+        )
+    wanted = set(names)
+    return (
+        tuple(workload for workload in workloads if workload.name in wanted),
+        tuple(
+            workload
+            for workload in multicore_workloads
+            if workload.name in wanted
+        ),
+    )
+
+
 def parse_shape(text: str) -> GemmShape:
     """Parse an ``MxNxK`` shape argument."""
     parts = text.lower().split("x")
@@ -213,6 +259,10 @@ def benchmark_workload(workload: BenchWorkload) -> Dict[str, Any]:
     exact = simulator.run(trace, mode="exact")
     exact_seconds = time.perf_counter() - started
 
+    # One untimed warm-up run: the fast path is quick enough that cold
+    # per-trace caches (line expansion, signature ids) and first-touch numpy
+    # dispatch otherwise dominate its measurement on the smaller workloads.
+    simulator.run(trace, block_starts=program.block_starts)
     started = time.perf_counter()
     fast = simulator.run(trace, block_starts=program.block_starts)
     fast_seconds = time.perf_counter() - started
@@ -234,6 +284,9 @@ def benchmark_workload(workload: BenchWorkload) -> Dict[str, Any]:
         "fast_core_cycles": fast.core_cycles,
         "speedup": exact_seconds / fast_seconds,
         "cycle_error": cycle_error,
+        "fast_blocks_stepped": fast.fast_blocks_stepped,
+        "fast_blocks_skipped": fast.fast_blocks_skipped,
+        "fast_coverage": fast.fast_path_coverage,
     }
 
 
@@ -347,8 +400,10 @@ def compare_benchmarks(
 
     Workloads are matched by name across both the single-core and multi-core
     suites (so a ``--quick`` run checks against a committed full-suite
-    baseline); a regression is a throughput drop of more than ``threshold``.
-    Returns human-readable regression descriptions (empty = pass).
+    baseline); a regression is a throughput drop of more than ``threshold``,
+    or a fast-vs-exact speedup below that workload's absolute floor in
+    :data:`SPEEDUP_FLOORS`.  Returns human-readable regression descriptions
+    (empty = pass).
     """
     regressions: List[str] = []
 
@@ -365,6 +420,15 @@ def compare_benchmarks(
             reference = baseline_rows.get(row["name"])
             if reference is not None and metric in reference:
                 check(row["name"], metric, row[metric], reference[metric])
+    for row in current.get("workloads", []):
+        floor = SPEEDUP_FLOORS.get(row["name"])
+        if floor is not None and row.get("speedup", 0.0) < floor:
+            regressions.append(
+                f"{row['name']}: fast-path speedup {row['speedup']:.1f}x below "
+                f"the {floor:.0f}x floor (stepped "
+                f"{row.get('fast_blocks_stepped', '?')} blocks, skipped "
+                f"{row.get('fast_blocks_skipped', '?')})"
+            )
     return regressions
 
 

@@ -61,6 +61,22 @@ DENSE_ONLY: FrozenSet[SparsityPattern] = frozenset({SparsityPattern.DENSE_4_4})
 SPGEMM_MERGE_BLOCKS_PER_CYCLE = 4
 
 
+def spgemm_merge_overhead(occupied_blocks: int) -> int:
+    """Feed-First cycles the stream-merge unit spends on ``occupied_blocks``.
+
+    The merge unit only has to align block pairs in which at least one
+    operand carries non-zeros on both sides; all-zero block pairs are skipped
+    by the occupancy pre-scan.  Kernel builders that see the actual operand
+    data call this with the per-instruction metadata-intersection count to
+    stamp a data-dependent ``feed_overhead`` on each SPGEMM instruction;
+    :meth:`EngineConfig.spgemm_feed_overhead` uses it with the worst-case
+    block count when no data is available.
+    """
+    if occupied_blocks <= 0:
+        return 0
+    return -(-occupied_blocks // SPGEMM_MERGE_BLOCKS_PER_CYCLE)
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """One matrix-engine design point.
@@ -256,8 +272,7 @@ class EngineConfig:
             raise ConfigurationError(
                 f"engine {self.name} does not implement SpGEMM stream merging"
             )
-        blocks = effective_k // BLOCK_SIZE_M
-        return -(-blocks // SPGEMM_MERGE_BLOCKS_PER_CYCLE)
+        return spgemm_merge_overhead(effective_k // BLOCK_SIZE_M)
 
     # -- capability queries ----------------------------------------------------------
 

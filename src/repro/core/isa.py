@@ -181,6 +181,13 @@ class Instruction:
     src_b: Optional[RegisterRef] = None
     memory: Optional[MemoryOperand] = None
     label: str = ""
+    #: Data-dependent Feed-First extension in engine cycles.  ``-1`` means
+    #: "unspecified": the simulator falls back to the engine's worst-case
+    #: formula (:meth:`repro.core.engine.EngineConfig.spgemm_feed_overhead`).
+    #: Kernel builders that know the operand data set it to the actual
+    #: metadata-intersection cost of the instruction, making the overhead a
+    #: first-class part of the trace (and of every timing signature).
+    feed_overhead: int = -1
 
     def __post_init__(self) -> None:
         self._validate()
@@ -189,6 +196,11 @@ class Instruction:
 
     def _validate(self) -> None:
         opcode = self.opcode
+        if self.feed_overhead >= 0 and not opcode.is_compute:
+            raise IsaError(
+                f"{opcode.value} cannot carry a feed_overhead; only tile "
+                "compute instructions extend the Feed-First stage"
+            )
         if opcode.is_load:
             if self.dst is None or self.memory is None:
                 raise IsaError(f"{opcode.value} needs a destination register and a memory source")
@@ -378,11 +390,37 @@ def tile_spmm_r(dst: RegisterRef, a: RegisterRef, b: RegisterRef, label: str = "
     return Instruction(Opcode.TILE_SPMM_R, dst=dst, src_a=a, src_b=b, label=label)
 
 
-def tile_spgemm_u(dst: RegisterRef, a: RegisterRef, b: RegisterRef, label: str = "") -> Instruction:
+def tile_spgemm_u(
+    dst: RegisterRef,
+    a: RegisterRef,
+    b: RegisterRef,
+    label: str = "",
+    feed_overhead: int = -1,
+) -> Instruction:
     """Build a 2:4 x 2:4 ``TILE_SPGEMM_U`` C += A x B (effective K = 64)."""
-    return Instruction(Opcode.TILE_SPGEMM_U, dst=dst, src_a=a, src_b=b, label=label)
+    return Instruction(
+        Opcode.TILE_SPGEMM_U,
+        dst=dst,
+        src_a=a,
+        src_b=b,
+        label=label,
+        feed_overhead=feed_overhead,
+    )
 
 
-def tile_spgemm_v(dst: RegisterRef, a: RegisterRef, b: RegisterRef, label: str = "") -> Instruction:
+def tile_spgemm_v(
+    dst: RegisterRef,
+    a: RegisterRef,
+    b: RegisterRef,
+    label: str = "",
+    feed_overhead: int = -1,
+) -> Instruction:
     """Build a 1:4 x 1:4 ``TILE_SPGEMM_V`` C += A x B (effective K = 128)."""
-    return Instruction(Opcode.TILE_SPGEMM_V, dst=dst, src_a=a, src_b=b, label=label)
+    return Instruction(
+        Opcode.TILE_SPGEMM_V,
+        dst=dst,
+        src_a=a,
+        src_b=b,
+        label=label,
+        feed_overhead=feed_overhead,
+    )

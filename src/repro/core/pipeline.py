@@ -231,6 +231,44 @@ class MatrixEnginePipeline:
         # keep utilization()'s busy count consistent with the makespan.
         self._scheduled += op_offset
 
+    # -- shift-digest support -----------------------------------------------------
+
+    def stage_digest(self, ebase: int) -> tuple:
+        """Stage-availability clocks relative to engine cycle ``ebase``.
+
+        Values at or before ``ebase`` saturate to zero: every future stage
+        start is a ``max`` against a quantity strictly derived from operand
+        readiness at or after ``ebase``, so earlier free times are
+        indistinguishable.  Used by the simulator's steady-state digest.
+        """
+        return tuple(
+            self._stage_free[stage] - ebase if self._stage_free[stage] > ebase else 0
+            for stage in ("WL", "FF", "FS", "DR")
+        )
+
+    def producer_digest(self, op_id: int, ebase: int) -> tuple:
+        """Digest of a live accumulator producer relative to ``ebase``.
+
+        Only the quantities a future consumer can observe are included:
+        ``complete`` (the no-forwarding dependence edge) and, when the engine
+        forwards outputs, the forwarding window ``ff_start +
+        output_ready_latency``.  Both saturate at ``ebase`` — a consumer's
+        ``ff_earliest`` is always past ``ebase``, so once either edge is in
+        the past its exact value no longer matters.  Raw ``ff_start`` must
+        not be digested directly: two past ``ff_start`` values can imply
+        different *future* forwarding windows, so the derived window is the
+        canonical quantity.
+        """
+        timing = self._timings.get(op_id)
+        if timing is None:
+            return ()
+        complete = timing.complete - ebase
+        items = [complete if complete > 0 else 0]
+        if self.engine.output_forwarding:
+            window = timing.ff_start + self.engine.output_ready_latency - ebase
+            items.append(window if window > 0 else 0)
+        return tuple(items)
+
     @property
     def completed(self) -> List[TileComputeTiming]:
         """All scheduled timings in program order (empty without history)."""

@@ -60,14 +60,17 @@ from .trace import (
 
 #: Bump when the simulation-key derivation changes meaning (invalidates every
 #: persisted block-result cache entry at once).
-SIMULATION_KEY_SCHEMA = "1"
+SIMULATION_KEY_SCHEMA = "2"
 
 #: The columnar trace record.  ``opcode`` is -1 for non-tile ops; ``dst`` /
 #: ``src_a`` / ``src_b`` hold encoded register references (-1 for none);
 #: ``address`` is -1 for non-memory ops; ``nbytes`` is the op's memory
 #: transfer size (0 for non-memory ops); ``oplabel`` / ``ilabel`` index the
 #: label table (the trace-op label used by signatures, and the instruction /
-#: memory-operand label used only when materialising objects).
+#: memory-operand label used only when materialising objects); ``feed`` is the
+#: per-op data-dependent Feed-First overhead of a tile compute (-1 when the
+#: instruction leaves it to the engine's worst-case formula, and for every
+#: non-compute op).
 TRACE_DTYPE = np.dtype(
     [
         ("kind", np.int8),
@@ -79,6 +82,7 @@ TRACE_DTYPE = np.dtype(
         ("nbytes", np.int32),
         ("oplabel", np.int32),
         ("ilabel", np.int32),
+        ("feed", np.int16),
     ]
 )
 
@@ -111,6 +115,10 @@ _NO_REG = -1
 _REG_BOUND = 512
 _NBYTES_BOUND = 8192
 _LABEL_BOUND = 65536
+#: Bound on the per-op feed overhead after the +1 shift.  The packed word is
+#: full at 63 bits, so feed is folded into the signature ids via a second
+#: factorisation stage instead (see ``signature_ids``).
+_FEED_BOUND = 512
 
 
 def encode_register(ref: Optional[RegisterRef]) -> int:
@@ -182,6 +190,7 @@ class TraceBuilder:
                 opcode.memory_bytes,
                 self._label(""),
                 self._label(label),
+                -1,
             )
         )
 
@@ -213,6 +222,7 @@ class TraceBuilder:
                 opcode.memory_bytes,
                 self._label(""),
                 self._label(label),
+                -1,
             )
         )
 
@@ -223,8 +233,18 @@ class TraceBuilder:
         src_a: RegisterRef,
         src_b: RegisterRef,
         label: str = "",
+        feed_overhead: int = -1,
     ) -> None:
-        """Append a tile compute instruction (GEMM / SPMM / SPGEMM)."""
+        """Append a tile compute instruction (GEMM / SPMM / SPGEMM).
+
+        ``feed_overhead`` stamps the data-dependent Feed-First extension on
+        the op (-1 defers to the engine's worst-case formula).
+        """
+        if not -1 <= feed_overhead < _FEED_BOUND - 1:
+            raise SimulationError(
+                f"feed_overhead {feed_overhead} outside the signature packing "
+                f"bound [{-1}, {_FEED_BOUND - 2}]"
+            )
         self._rows.append(
             (
                 _KIND_TILE,
@@ -236,6 +256,7 @@ class TraceBuilder:
                 0,
                 self._label(""),
                 self._label(label),
+                feed_overhead,
             )
         )
 
@@ -246,7 +267,7 @@ class TraceBuilder:
             raise SimulationError(f"negative memory address {address}")
         label_id = self._label(label)
         self._rows.append(
-            (_KIND_VLOAD, -1, dst_reg, _NO_REG, _NO_REG, address, nbytes, label_id, label_id)
+            (_KIND_VLOAD, -1, dst_reg, _NO_REG, _NO_REG, address, nbytes, label_id, label_id, -1)
         )
 
     def vector_store(self, src_reg: int, address: int, nbytes: int = 64, label: str = "") -> None:
@@ -254,7 +275,7 @@ class TraceBuilder:
             raise SimulationError(f"negative memory address {address}")
         label_id = self._label(label)
         self._rows.append(
-            (_KIND_VSTORE, -1, _NO_REG, src_reg, _NO_REG, address, nbytes, label_id, label_id)
+            (_KIND_VSTORE, -1, _NO_REG, src_reg, _NO_REG, address, nbytes, label_id, label_id, -1)
         )
 
     def vector_fma(self, dst_reg: int, src_regs: Sequence[int], label: str = "") -> None:
@@ -267,16 +288,20 @@ class TraceBuilder:
         src_a = srcs[0] if len(srcs) > 0 else _NO_REG
         src_b = srcs[1] if len(srcs) > 1 else _NO_REG
         self._rows.append(
-            (_KIND_VFMA, -1, dst_reg, src_a, src_b, -1, 0, label_id, label_id)
+            (_KIND_VFMA, -1, dst_reg, src_a, src_b, -1, 0, label_id, label_id, -1)
         )
 
     def scalar(self, label: str = "") -> None:
         label_id = self._label(label)
-        self._rows.append((_KIND_SCALAR, -1, _NO_REG, _NO_REG, _NO_REG, -1, 0, label_id, label_id))
+        self._rows.append(
+            (_KIND_SCALAR, -1, _NO_REG, _NO_REG, _NO_REG, -1, 0, label_id, label_id, -1)
+        )
 
     def branch(self, label: str = "") -> None:
         label_id = self._label(label)
-        self._rows.append((_KIND_BRANCH, -1, _NO_REG, _NO_REG, _NO_REG, -1, 0, label_id, label_id))
+        self._rows.append(
+            (_KIND_BRANCH, -1, _NO_REG, _NO_REG, _NO_REG, -1, 0, label_id, label_id, -1)
+        )
 
     # -- completion -------------------------------------------------------------
 
@@ -303,6 +328,8 @@ def _encode_op(op: TraceOp, label_of) -> Optional[tuple]:
         memory = instruction.memory
         if memory is not None and memory.nbytes >= _NBYTES_BOUND:
             return None
+        if instruction.feed_overhead >= _FEED_BOUND - 1:
+            return None
         return (
             _KIND_TILE,
             OPCODE_CODES[instruction.opcode],
@@ -313,6 +340,7 @@ def _encode_op(op: TraceOp, label_of) -> Optional[tuple]:
             memory.nbytes if memory is not None else 0,
             label_of(op.label),
             label_of(instruction.label),
+            instruction.feed_overhead,
         )
     if len(op.src_regs) > 2 or op.nbytes >= _NBYTES_BOUND:
         return None
@@ -330,6 +358,7 @@ def _encode_op(op: TraceOp, label_of) -> Optional[tuple]:
         op.nbytes,
         label_id,
         label_id,
+        -1,
     )
 
 
@@ -369,17 +398,18 @@ def lru_outcome_bits(ids: np.ndarray, num_sets: int, associativity: int) -> np.n
     hit_lanes = np.zeros((num_sets, depth), dtype=bool)
     for step in range(depth):
         column = lanes[:, step]
-        active = column >= 0
         match = tag_state == column[:, None]
-        hit = match.any(axis=1) & active
-        hit_rows = np.flatnonzero(hit)
-        if len(hit_rows):
-            age_state[hit_rows, match.argmax(axis=1)[hit_rows]] = step
-        miss_rows = np.flatnonzero(active & ~hit)
-        if len(miss_rows):
-            victims = age_state[miss_rows].argmin(axis=1)
-            tag_state[miss_rows, victims] = column[miss_rows]
-            age_state[miss_rows, victims] = step
+        hit = match.any(axis=1)
+        # One unified state update: the touched lane is the matching one on a
+        # hit (re-writing its tag is a no-op) or the LRU victim on a miss.
+        # Padding lanes (tag -1) spuriously "hit" the empty state but are
+        # neither written back nor ever read out — the final gather below
+        # only visits real (set, position) pairs.
+        lane = np.where(hit, match.argmax(axis=1), age_state.argmin(axis=1))
+        rows = np.flatnonzero(column >= 0)
+        touched = lane[rows]
+        tag_state[rows, touched] = column[rows]
+        age_state[rows, touched] = step
         hit_lanes[:, step] = hit
     return hit_lanes[sets, within]
 
@@ -554,6 +584,7 @@ class ColumnarTrace(Sequence):
                         src_a=decode_register(int(row["src_a"])),
                         src_b=decode_register(int(row["src_b"])),
                         label=label,
+                        feed_overhead=int(row["feed"]),
                     )
                 append(tile_op(instruction))
             elif kind == _KIND_SCALAR:
@@ -591,10 +622,12 @@ class ColumnarTrace(Sequence):
     def _packed_signatures(self) -> np.ndarray:
         """Pack the timing signature of every op into one ``int64`` word.
 
-        The word covers exactly the fields of
-        :func:`repro.cpu.fastsim.op_signature` — kind, opcode, the three
-        register operands, access size and trace-op label — and nothing else;
-        addresses are deliberately absent.
+        The word covers the fields of
+        :func:`repro.cpu.fastsim.op_signature` except the per-op feed
+        overhead — kind, opcode, the three register operands, access size and
+        trace-op label — and nothing else; addresses are deliberately absent.
+        The word is full at 63 bits, so ``signature_ids`` and
+        ``_structure_hash`` fold the ``feed`` column in separately.
         """
         cols = self.columns
         kind = cols["kind"].astype(np.int64)
@@ -632,12 +665,20 @@ class ColumnarTrace(Sequence):
         Equivalent to interning :func:`repro.cpu.fastsim.op_signature` tuples
         op by op, but derived from the packed content words, so the result
         depends only on the trace content (never on hash seeds or interning
-        history) and costs one ``np.unique`` instead of a Python loop.
+        history) and costs two ``np.unique`` passes instead of a Python loop.
+        The per-op ``feed`` overhead is part of the signature (it changes the
+        engine-pipeline timing), folded in via a second factorisation stage
+        because the packed word itself is full at 63 bits: the sorted-unique
+        rank of the packed word (content-derived) times ``_FEED_BOUND`` plus
+        the shifted feed value is again a unique content word.
         """
         if self._signature_ids is None:
             packed = self._packed_signatures()
+            feed = self.columns["feed"].astype(np.int64) + 1
+            values = np.unique(packed)
+            combined = np.searchsorted(values, packed) * np.int64(_FEED_BOUND) + feed
             _, first_index, inverse = np.unique(
-                packed, return_index=True, return_inverse=True
+                combined, return_index=True, return_inverse=True
             )
             order = np.argsort(first_index, kind="stable")
             rank = np.empty(len(order), dtype=np.int64)
@@ -734,6 +775,10 @@ class ColumnarTrace(Sequence):
         if self._structure_digest is None:
             digest = hashlib.sha256()
             digest.update(np.ascontiguousarray(self._packed_signatures()).tobytes())
+            # The feed column is part of the timing-relevant content: two
+            # traces differing only in their feed-overhead sequences schedule
+            # the engine pipeline differently and must get distinct memo keys.
+            digest.update(np.ascontiguousarray(self.columns["feed"]).tobytes())
             digest.update("\x00".join(self.labels).encode("utf-8"))
             self._structure_digest = digest.digest()
         return self._structure_digest

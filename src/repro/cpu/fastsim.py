@@ -7,46 +7,64 @@ memory addresses changing.  Simulating every repetition with the event-driven
 scoreboard is what forced the Figure 13 flow to truncate traces to a couple
 of output tiles and extrapolate (``simulated_fraction``).
 
-This module removes that bottleneck without giving up fidelity:
+This module removes that bottleneck without giving up fidelity.  Two proof
+strategies are used, picked per run:
 
-1. **Lowering / periodicity.**  The trace is lowered once into a NumPy
-   ``int64`` signature array (instruction kind, opcode, register operands,
-   access size, label — everything except the memory address).  Kernel
-   builders hand the block boundaries over directly
-   (:attr:`~repro.kernels.program.KernelProgram.block_starts`), in which case
-   no full-trace scan is needed at all; otherwise the rarest repeating
-   signature anchors the period detection.  Consecutive blocks of equal
-   length (and, for detected periodicity, equal signature content) are
-   grouped into uniform *segments*.
+**Oracle path** (columnar trace + the paper's prefetch-into-L2 assumption).
+Under the ideal L2 prefetch every L1 miss is an L2 hit by construction, so
+the only data-dependent memory outcome is the L1 lookup — a pure function of
+the line-address sequence, which the columnar trace can replay exactly for
+the whole trace up front (:func:`repro.cpu.columnar.lru_outcome_bits`).  With
+the outcomes scripted (:class:`repro.cpu.memory.ScriptedHierarchy`), each
+simulator step becomes a function of (state, per-op input word), where the
+input word packs the op's timing signature — including the per-op
+``feed_overhead`` of the dual-sparsity metadata intersection — with its
+scripted memory delay and line count.  At every block boundary the state is
+digested into a canonical shift-normalized form
+(:meth:`repro.cpu.simulator.SimulatorState.shift_digest`); a digest match
+against a boundary ``q`` blocks earlier plus element-wise equality of the
+input words over the span to be skipped *proves, by induction over the step
+function*, that the next ``K`` periods replay shifted by a constant
+``K * delta`` — so they are skipped in closed form, with counters advanced by
+exact prefix sums rather than extrapolated deltas.  Intermediate landing
+boundaries are marked as well, so chained jumps (including a final jump to
+the very end of a segment) need no re-validation blocks in between.
 
-2. **Closed-form steady state.**  Within a segment the simulator executes
-   blocks exactly until two consecutive blocks are *shift-invariant*: every
-   per-op issue and completion cycle moved forward by the same constant
-   ``delta`` and the cache/DRAM behaviour was identical.  The per-iteration
-   cycle cost of the steady-state body is then known in closed form, so the
-   remaining repetitions are skipped at once: the whole machine state
-   (scoreboards, ROB/load buffer, engine pipeline, bandwidth clocks) is
-   advanced by ``skipped * delta`` and the memory counters by the measured
-   per-block deltas.  Warm-up, segment boundaries and the drain tail always
-   run through the exact scoreboard.
+**Profile path** (op-list traces, or machines without the L2 prefetch, where
+L2/DRAM dynamics are stateful).  The original strategy: simulate blocks
+exactly until ``q`` consecutive block pairs are *shift-invariant* — every
+per-op issue and completion cycle moved forward by the same constant
+``delta`` and the cache counters changed identically — then skip ahead in
+multiples of ``q``, re-validating after every jump.
 
-The skip is exact whenever the proven shift invariance persists, which holds
-for the generated kernels as long as the per-block cache behaviour stays in
-its steady regime; ``max_skip_blocks`` bounds how far the state may jump
-between re-validations.  Traces with no periodic structure fall back to the
-exact path unchanged.
+Both paths search super-periods up to :func:`resolve_max_super_period`
+blocks: a block whose op count is not a multiple of the issue width only
+repeats its issue alignment every ``issue_width`` blocks, and the dual N:M
+metadata streams of the SpGEMM kernels impose their own (layout-driven)
+cache super-period on top.  Traces with no periodic structure fall back to
+the exact path unchanged.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.engine import EngineConfig
+from ..errors import ConfigurationError
+from .columnar import KIND_CODES, lru_outcome_bits
+from .memory import ScriptedHierarchy
 from .params import MachineParams
 from .simulator import SimulationResult, SimulatorState
-from .trace import TraceOp, TraceSummary, summarize_trace, trace_memory_footprint
+from .trace import (
+    TraceOp,
+    TraceOpKind,
+    TraceSummary,
+    summarize_trace,
+    trace_memory_footprint,
+)
 
 #: Segments shorter than this are simply simulated exactly.
 MIN_BLOCKS_TO_SKIP = 4
@@ -54,25 +72,58 @@ MIN_BLOCKS_TO_SKIP = 4
 #: An anchor signature must repeat at least this often to define periodicity.
 MIN_ANCHOR_REPEATS = 3
 
-#: Upper bound on blocks skipped per proven steady-state jump; the block after
-#: a jump is always re-simulated, so this bounds how long the fast path may
-#: coast without re-validating the steady state against the real machine.
+#: Upper bound on blocks skipped per proven steady-state jump.  On the
+#: profile path the block after a jump is always re-simulated, so this bounds
+#: how long the fast path may coast without re-validating against the real
+#: machine; on the oracle path jumps are proven exact, but the cap still
+#: bounds the boundary marks recorded per jump.
 DEFAULT_MAX_SKIP_BLOCKS = 512
 
-#: Largest super-period (in blocks) considered for the steady state.  A block
-#: whose length is not a multiple of the issue width only repeats its issue
-#: alignment every ``issue_width`` blocks, so the true steady period can span
-#: several signature blocks.
-MAX_SUPER_PERIOD = 8
+#: Default for the largest super-period (in blocks) considered for the steady
+#: state; override per process with ``REPRO_MAX_SUPER_PERIOD``.  Sized to
+#: cover both the issue-width alignment period and the metadata/cache-set
+#: super-period of the dual N:M streams in the SpGEMM kernels (whose padded
+#: layouts repeat their L1-set pattern every ``tiles_n`` = 16 blocks).
+DEFAULT_MAX_SUPER_PERIOD = 16
+
+#: Environment variable overriding :data:`DEFAULT_MAX_SUPER_PERIOD`.
+MAX_SUPER_PERIOD_ENV = "REPRO_MAX_SUPER_PERIOD"
+
+#: Field bounds of the oracle's packed per-op input word (signature id,
+#: scripted memory delay, line count).  ``nbytes`` is bounded by the columnar
+#: packing at 8192, i.e. at most 129 lines per request and a delay of at most
+#: 128 + the L2 hit latency.
+_DELAY_BOUND = 512
+_LINES_BOUND = 256
+
+_TILE_CODE = KIND_CODES[TraceOpKind.TILE]
+
+
+def resolve_max_super_period() -> int:
+    """The super-period search cap, honouring ``REPRO_MAX_SUPER_PERIOD``."""
+    raw = os.environ.get(MAX_SUPER_PERIOD_ENV)
+    if raw is None:
+        return DEFAULT_MAX_SUPER_PERIOD
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{MAX_SUPER_PERIOD_ENV}={raw!r} is not an integer"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(
+            f"{MAX_SUPER_PERIOD_ENV} must be at least 1, got {value}"
+        )
+    return value
 
 
 def op_signature(op: TraceOp) -> tuple:
     """Timing-relevant identity of a trace op, excluding its memory address.
 
     Two ops with equal signatures exercise the same scheduling path through
-    the simulator (same kind, registers, access size and latency class);
-    periodic kernels repeat signature sequences exactly while the addresses
-    stride forward.
+    the simulator (same kind, registers, access size, latency class and —
+    for tile computes — the same per-op feed overhead); periodic kernels
+    repeat signature sequences exactly while the addresses stride forward.
     """
     tile = op.tile
     if tile is None:
@@ -85,6 +136,7 @@ def op_signature(op: TraceOp) -> tuple:
         tile.src_b,
         tile.memory.nbytes if tile.memory is not None else 0,
         op.label,
+        tile.feed_overhead,
     )
 
 
@@ -159,7 +211,8 @@ def build_segments(
     start plus the trace length, and each segment is ``(first_block, count)``.
     Two neighbouring blocks belong to the same segment when they have equal
     length and — when a signature array is available — byte-identical
-    signature content.
+    signature content (signatures include per-op feed overheads, so blocks
+    whose overhead sequences differ element-wise are never merged).
     """
     bounds = list(block_starts) + [trace_length]
     num_blocks = len(block_starts)
@@ -184,6 +237,247 @@ def build_segments(
         segments.append((index, end - index + 1))
         index = end + 1
     return bounds, segments
+
+
+# -- oracle path -------------------------------------------------------------------
+
+
+class _OracleScript:
+    """Whole-trace precomputation backing the oracle fast path.
+
+    ``inputs`` packs, per op, everything the simulator's step function reads
+    besides the machine state: the content signature id (kind, opcode,
+    registers, label, per-op feed overhead) together with the scripted
+    memory-delay word and line count of the op's request.  The cumulative
+    arrays turn any skipped span's counter contributions into O(1) prefix-sum
+    differences, bit-identical to stepping the span.
+    """
+
+    __slots__ = (
+        "hit_bits",
+        "inputs",
+        "line_offset",
+        "line_hits_cum",
+        "requests_cum",
+        "bytes_cum",
+        "computes_cum",
+    )
+
+    def __init__(
+        self,
+        hit_bits: np.ndarray,
+        inputs: np.ndarray,
+        line_offset: np.ndarray,
+        line_hits_cum: np.ndarray,
+        requests_cum: np.ndarray,
+        bytes_cum: np.ndarray,
+        computes_cum: np.ndarray,
+    ) -> None:
+        self.hit_bits = hit_bits
+        self.inputs = inputs
+        self.line_offset = line_offset
+        self.line_hits_cum = line_hits_cum
+        self.requests_cum = requests_cum
+        self.bytes_cum = bytes_cum
+        self.computes_cum = computes_cum
+
+
+def _build_oracle(machine: MachineParams, columnar, signatures: np.ndarray):
+    """Precompute the scripted outcomes and packed input words, or None.
+
+    Only valid under the ideal L2 prefetch: every L1 miss is then an L2 hit
+    at a fixed latency (the prefetched set covers the trace's own footprint
+    by definition), so the exact L1 LRU replay scripts the entire memory
+    behaviour of the run.
+    """
+    cols = columnar.columns
+    line_bytes = machine.l1.line_bytes
+    addresses = cols["address"]
+    mem_mask = addresses >= 0
+    nbytes = cols["nbytes"].astype(np.int64)
+    n = len(cols)
+
+    counts = np.zeros(n, dtype=np.int64)
+    if mem_mask.any():
+        addr = addresses[mem_mask].astype(np.int64)
+        first = addr // line_bytes
+        last = (addr + nbytes[mem_mask] - 1) // line_bytes
+        counts[mem_mask] = last - first + 1
+        if counts[mem_mask].min(initial=1) <= 0:
+            return None  # zero-byte request: let the exact path raise
+
+    lines = columnar._line_expansion(line_bytes)
+    if len(lines):
+        hit_bits = lru_outcome_bits(
+            lines, machine.l1.num_sets, machine.l1.associativity
+        )
+    else:
+        hit_bits = np.zeros(0, dtype=bool)
+
+    line_offset = np.concatenate(([0], np.cumsum(counts)))
+    total = int(line_offset[-1])
+    delay = np.zeros(n, dtype=np.int64)
+    if total:
+        latency = np.where(
+            hit_bits, machine.l1.hit_latency, machine.l2.hit_latency
+        ).astype(np.int64)
+        counts_mem = counts[mem_mask]
+        starts_mem = np.cumsum(counts_mem) - counts_mem
+        # Within one request the L2 port delivers line j at port_base + j, so
+        # the request's completion is port_base + max_j(j + latency_j).
+        within = np.arange(total, dtype=np.int64) - np.repeat(starts_mem, counts_mem)
+        delay[mem_mask] = np.maximum.reduceat(within + latency, starts_mem)
+    if delay.max(initial=0) >= _DELAY_BOUND or counts.max(initial=0) >= _LINES_BOUND:
+        return None
+
+    inputs = (signatures * _DELAY_BOUND + delay) * _LINES_BOUND + counts
+    is_compute = (cols["kind"] == _TILE_CODE) & ~mem_mask
+    return _OracleScript(
+        hit_bits=hit_bits,
+        inputs=inputs,
+        line_offset=line_offset,
+        line_hits_cum=np.concatenate(([0], np.cumsum(hit_bits))),
+        requests_cum=np.concatenate(([0], np.cumsum(mem_mask))),
+        bytes_cum=np.concatenate(([0], np.cumsum(np.where(mem_mask, nbytes, 0)))),
+        computes_cum=np.concatenate(([0], np.cumsum(is_compute))),
+    )
+
+
+def _run_oracle(
+    machine: MachineParams,
+    engine: Optional[EngineConfig],
+    columnar,
+    script: _OracleScript,
+    bounds: List[int],
+    segments: List[Tuple[int, int]],
+    max_skip_blocks: int,
+    max_super_period: int,
+) -> SimulationResult:
+    """Digest-locked fast path over scripted memory outcomes.
+
+    Soundness of every jump: a boundary digest match proves
+    ``state(b) == shift(state(b - q), delta)`` (the digest is a canonical
+    shift-normal form of everything :meth:`SimulatorState.step` can read),
+    and the input-word equality over the skipped span proves, by induction
+    on the step function, that each of the next ``K`` periods replays under
+    that shift — so ``state.shift(K * delta, ...)`` lands on the exact state
+    and the prefix-sum counters equal the stepped counters bit-for-bit.
+    """
+    state = SimulatorState(machine, engine, retain_pipeline_history=False)
+    state.memory.hierarchy = ScriptedHierarchy(
+        script.hit_bits, machine.l1.hit_latency, machine.l2.hit_latency
+    )
+    summary = TraceSummary()
+    inputs = script.inputs
+    stepped = 0
+    skipped = 0
+
+    def simulate_span(start: int, end: int) -> None:
+        source = columnar.ops_span(start, end)
+        step = state.step
+        for index in range(start, end):
+            step(source[index])
+
+    # Warm-up prefix before the first detected block.
+    simulate_span(0, bounds[0])
+    _merge_summary(summary, columnar.summarize_span(0, bounds[0]))
+
+    for first_block, count in segments:
+        segment_start = bounds[first_block]
+        segment_end = bounds[first_block + count]
+        period = bounds[first_block + 1] - bounds[first_block]
+        if count < MIN_BLOCKS_TO_SKIP:
+            simulate_span(segment_start, segment_end)
+            _merge_summary(summary, columnar.summarize_span(segment_start, segment_end))
+            stepped += count
+            continue
+        # All blocks of a segment are signature-identical (columnar traces
+        # are always segment-verified in full), so skipped repetitions
+        # summarize as copies of the segment head.
+        _merge_summary(
+            summary, columnar.summarize_span(segment_start, segment_start + period), count
+        )
+
+        #: block index within the segment -> (shift digest, issue cycle).
+        boundaries: Dict[int, Tuple[tuple, int]] = {}
+        index = 0
+        while index < count:
+            digest = state.shift_digest()
+            cycle = state.issue_cycle
+            boundaries[index] = (digest, cycle)
+            jumped = False
+            for q in range(1, min(max_super_period, index) + 1):
+                mark = boundaries.get(index - q)
+                if mark is None or mark[0] != digest:
+                    continue
+                delta = cycle - mark[1]
+                if delta <= 0:
+                    continue
+                if state.pipeline is not None and delta % state.ratio:
+                    continue  # unreachable: the digest pins the clock phase
+                limit = min((count - index) // q, max_skip_blocks // q)
+                if limit <= 0:
+                    continue
+                qp = q * period
+                start = segment_start + index * period
+                # One-period probe first (cheap), then scan the full span;
+                # the first mismatching op caps the jump at whole periods.
+                if not np.array_equal(
+                    inputs[start : start + qp], inputs[start - qp : start]
+                ):
+                    continue
+                periods = limit
+                if limit > 1:
+                    span = limit * qp
+                    tail = np.flatnonzero(
+                        inputs[start + qp : start + span]
+                        != inputs[start : start + span - qp]
+                    )
+                    if len(tail):
+                        periods = 1 + int(tail[0]) // qp
+                end = start + periods * qp
+                computes = int(script.computes_cum[end] - script.computes_cum[start])
+                engine_delta = (periods * delta) // state.ratio if state.pipeline else 0
+                state.shift(periods * delta, computes, engine_delta)
+                state.memory.skip_span(
+                    requests=int(script.requests_cum[end] - script.requests_cum[start]),
+                    nbytes=int(script.bytes_cum[end] - script.bytes_cum[start]),
+                    lines=int(script.line_offset[end] - script.line_offset[start]),
+                    l1_hits=int(
+                        script.line_hits_cum[script.line_offset[end]]
+                        - script.line_hits_cum[script.line_offset[start]]
+                    ),
+                )
+                # Mark every intermediate landing: the states there are the
+                # same digest shifted by k * delta, so a later boundary can
+                # chain its own jump off them without re-stepping q blocks.
+                for k in range(1, periods + 1):
+                    boundaries[index + k * q] = (digest, cycle + k * delta)
+                skipped += periods * q
+                index += periods * q
+                jumped = True
+                break
+            if jumped:
+                continue
+            start = segment_start + index * period
+            simulate_span(start, start + period)
+            stepped += 1
+            index += 1
+            if len(boundaries) > 8 * max_super_period:
+                floor = index - max_super_period
+                for key in [key for key in boundaries if key < floor]:
+                    del boundaries[key]
+
+    core_cycles = max(state.last_completion, state.issue_cycle + 1)
+    return state.result(
+        summary,
+        core_cycles,
+        fast_blocks_stepped=stepped,
+        fast_blocks_skipped=skipped,
+    )
+
+
+# -- profile path ------------------------------------------------------------------
 
 
 class _BlockProfile:
@@ -231,7 +525,9 @@ def _steady_delta(previous: _BlockProfile, current: _BlockProfile) -> Optional[i
     return delta
 
 
-def _find_super_period(history: Sequence[_BlockProfile]) -> Optional[Tuple[int, int]]:
+def _find_super_period(
+    history: Sequence[_BlockProfile], max_super_period: int
+) -> Optional[Tuple[int, int]]:
     """Smallest ``(q, delta)`` such that the last ``2q`` blocks prove that the
     state advances by exactly ``delta`` cycles every ``q`` blocks.
 
@@ -241,7 +537,7 @@ def _find_super_period(history: Sequence[_BlockProfile]) -> Optional[Tuple[int, 
     multiples of ``q``.
     """
     available = len(history)
-    for q in range(1, min(MAX_SUPER_PERIOD, available // 2) + 1):
+    for q in range(1, min(max_super_period, available // 2) + 1):
         delta: Optional[int] = None
         for j in range(1, q + 1):
             pair_delta = _steady_delta(history[-j - q], history[-j])
@@ -291,13 +587,18 @@ def run_fast(
     block_starts: Optional[Sequence[int]] = None,
     *,
     max_skip_blocks: int = DEFAULT_MAX_SKIP_BLOCKS,
+    max_super_period: Optional[int] = None,
 ) -> Optional[SimulationResult]:
     """Fast-path simulation; returns None when the trace is not periodic.
 
     ``block_starts`` comes from the kernel builders when available (no trace
     scan needed); otherwise periodicity is detected from the signature array.
+    ``max_super_period`` defaults to :func:`resolve_max_super_period`
+    (``REPRO_MAX_SUPER_PERIOD`` or :data:`DEFAULT_MAX_SUPER_PERIOD`).
     """
     n = len(trace)
+    if max_super_period is None:
+        max_super_period = resolve_max_super_period()
     columnar = trace if getattr(trace, "has_columns", False) else None
     signatures: Optional[np.ndarray] = None
     if columnar is not None:
@@ -317,6 +618,48 @@ def run_fast(
             block_starts = _starts_from_signatures(signatures)
         if block_starts is None:
             return None
+
+    bounds, segments = build_segments(block_starts, n, signatures)
+
+    if columnar is not None and machine.prefetch_into_l2:
+        script = _build_oracle(machine, columnar, signatures)
+        if script is not None:
+            return _run_oracle(
+                machine,
+                engine,
+                columnar,
+                script,
+                bounds,
+                segments,
+                max_skip_blocks,
+                max_super_period,
+            )
+
+    return _run_profiled(
+        machine,
+        engine,
+        trace,
+        columnar,
+        signatures,
+        bounds,
+        segments,
+        max_skip_blocks,
+        max_super_period,
+    )
+
+
+def _run_profiled(
+    machine: MachineParams,
+    engine: Optional[EngineConfig],
+    trace: Sequence[TraceOp],
+    columnar,
+    signatures: Optional[np.ndarray],
+    bounds: List[int],
+    segments: List[Tuple[int, int]],
+    max_skip_blocks: int,
+    max_super_period: int,
+) -> Optional[SimulationResult]:
+    """Counter-delta steady-state detection (non-scripted memory systems)."""
     # For plain op lists, builder-supplied hints skip the full-trace
     # signature scan: the blocks actually simulated, plus a
     # first/middle/last sample of every skipped span, are signature-checked
@@ -325,14 +668,14 @@ def run_fast(
     # exhaustive — callers with untrusted op-list traces should pass
     # block_starts=None (full signature verification) or mode="exact".
     hinted = signatures is None
-
-    bounds, segments = build_segments(block_starts, n, signatures)
     ops = trace if columnar is None else None  # columnar ops materialise per span
 
     state = SimulatorState(machine, engine, retain_pipeline_history=False)
     prefetch = machine.prefetch_into_l2
     summary = TraceSummary()
     extra_counters: Dict[str, int] = {}
+    stepped = 0
+    skipped = 0
 
     def warm(start: int, end: int) -> None:
         if prefetch and start < end:
@@ -401,6 +744,7 @@ def run_fast(
                 # even a lying hint cannot corrupt the result here.
                 simulate_span(segment_start, segment_end)
                 _merge_summary(summary, span_summary(segment_start, segment_end))
+                stepped += count
                 continue
             # Skipped repetitions are accounted as copies of the segment head;
             # for detected periodicity the whole segment is signature-verified
@@ -426,10 +770,11 @@ def run_fast(
                             f"block at op {start} differs from its segment head"
                         )
                 history.append(simulate_block(start, start + period))
-                if len(history) > 2 * MAX_SUPER_PERIOD:
+                stepped += 1
+                if len(history) > 2 * max_super_period:
                     del history[0]
                 index += 1
-                steady = _find_super_period(history)
+                steady = _find_super_period(history, max_super_period)
                 if steady is None:
                     continue
                 q, delta = steady
@@ -461,10 +806,17 @@ def run_fast(
                     for key, value in profile.counter_delta.items():
                         if value:
                             extra_counters[key] = extra_counters.get(key, 0) + jumps * value
+                skipped += jumps * q
                 index += jumps * q
                 history.clear()
     except _HintMismatch:
         return None  # the caller re-runs the trace through the exact path
 
     core_cycles = max(state.last_completion, state.issue_cycle + 1)
-    return state.result(summary, core_cycles, extra_counters)
+    return state.result(
+        summary,
+        core_cycles,
+        extra_counters,
+        fast_blocks_stepped=stepped,
+        fast_blocks_skipped=skipped,
+    )

@@ -365,6 +365,8 @@ def result_to_payload(result: SimulationResult) -> Dict[str, Any]:
             "by_opcode": dict(summary.by_opcode),
         },
         "memory_counters": dict(result.memory_counters),
+        "fast_blocks_stepped": result.fast_blocks_stepped,
+        "fast_blocks_skipped": result.fast_blocks_skipped,
     }
 
 
@@ -389,6 +391,8 @@ def payload_to_result(
         memory_counters={str(k): int(v) for k, v in payload["memory_counters"].items()},
         machine=machine,
         engine=engine,
+        fast_blocks_stepped=int(payload.get("fast_blocks_stepped", 0)),
+        fast_blocks_skipped=int(payload.get("fast_blocks_skipped", 0)),
     )
 
 

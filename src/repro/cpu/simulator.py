@@ -62,7 +62,8 @@ SIMULATION_MODES = ("fast", "exact")
 #: against a newer one.  Bump whenever a change affects cycles or counters
 #: without being visible in the machine/engine parameters — pipeline rules,
 #: latency formulas, feed-overhead constants, cache policy details.
-SIMULATOR_MODEL_VERSION = "1"
+#: "2": per-instruction (data-dependent) SpGEMM feed overheads.
+SIMULATOR_MODEL_VERSION = "2"
 
 
 @dataclass
@@ -77,6 +78,18 @@ class SimulationResult:
     memory_counters: Dict[str, int]
     machine: MachineParams
     engine: Optional[EngineConfig]
+    #: Fast-path coverage accounting: how many of the trace's periodic blocks
+    #: were stepped through the exact scoreboard vs skipped in closed form.
+    #: Both stay 0 for exact runs (and for traces without block structure), so
+    #: fast-path regressions are observable without re-benchmarking.
+    fast_blocks_stepped: int = 0
+    fast_blocks_skipped: int = 0
+
+    @property
+    def fast_path_coverage(self) -> float:
+        """Fraction of periodic blocks the fast path skipped in closed form."""
+        total = self.fast_blocks_stepped + self.fast_blocks_skipped
+        return self.fast_blocks_skipped / total if total else 0.0
 
     @property
     def runtime_seconds(self) -> float:
@@ -281,14 +294,22 @@ class SimulatorState:
         for metadata in (instruction.implicit_metadata, instruction.implicit_metadata_b):
             if metadata is not None:
                 operand_ready = max(operand_ready, self.mreg_ready.get(metadata.index, 0))
-        feed_overhead = 0
+        # Per-instruction feed overhead wins when the builder stamped one
+        # (data-dependent metadata intersection); otherwise SPGEMM falls back
+        # to the engine's worst-case formula and everything else to zero.
+        feed_overhead = instruction.feed_overhead
+        if feed_overhead < 0:
+            feed_overhead = 0
         if opcode.is_spgemm:
             if not (self.engine.sparse and self.engine.spgemm):
                 raise SimulationError(
                     f"engine {self.engine.name} cannot execute {opcode.value}: "
                     "SpGEMM stream merging is not enabled on this configuration"
                 )
-            feed_overhead = self.engine.spgemm_feed_overhead(opcode.spgemm_effective_k)
+            if instruction.feed_overhead < 0:
+                feed_overhead = self.engine.spgemm_feed_overhead(
+                    opcode.spgemm_effective_k
+                )
 
         dst_tregs = instruction.dst.backing_tregs()
         accumulator_dep: Optional[int] = None
@@ -366,6 +387,69 @@ class SimulatorState:
         self.engine_ops += compute_offset
         self.next_compute_id += compute_offset
 
+    def shift_digest(self) -> tuple:
+        """Canonical shift-normalized digest of the live machine state.
+
+        Two states with equal digests behave identically under :meth:`step`
+        up to a constant time shift: every cycle-valued piece of state is
+        expressed relative to ``issue_cycle`` and every op id relative to
+        ``next_compute_id``, and values the future can no longer observe are
+        canonicalised away — past readiness times saturate to zero (a future
+        ``max(cycle, ready)`` cannot distinguish them) and scoreboard entries
+        whose time has passed are dropped.  Engine-domain values are relative
+        to ``issue_cycle // ratio`` with the clock phase kept explicitly, so
+        matching digests also guarantee the cycle delta between them is a
+        multiple of the engine clock ratio.  The fast path compares these
+        digests at block boundaries to prove steady state (see
+        :mod:`repro.cpu.fastsim`).
+        """
+        base = self.issue_cycle
+
+        def rel(value: int) -> int:
+            return value - base if value > base else 0
+
+        regs = tuple(
+            tuple(
+                sorted(
+                    (key, value - base)
+                    for key, value in ready.items()
+                    if value > base
+                )
+            )
+            for ready in (self.treg_ready, self.mreg_ready, self.vreg_ready)
+        )
+        next_id = self.next_compute_id
+        pipeline = self.pipeline
+        if pipeline is not None:
+            ebase = base // self.ratio
+            writers = tuple(
+                sorted(
+                    (
+                        reg,
+                        op_id - next_id,
+                        rel(self.compute_completion.get(op_id, 0)),
+                    )
+                    + pipeline.producer_digest(op_id, ebase)
+                    for reg, op_id in self.last_compute_writer.items()
+                )
+            )
+            engine = (base % self.ratio, pipeline.stage_digest(ebase))
+        else:
+            writers = ()
+            engine = ()
+        slot = self.next_fma_slot - base
+        return (
+            self.issued_this_cycle,
+            rel(self.last_completion),
+            slot if slot > 0.0 else 0.0,
+            regs,
+            writers,
+            engine,
+            tuple(rel(done) for done in self.rob),
+            tuple(rel(done) for done in self.load_buffer),
+            self.memory.shift_digest(base),
+        )
+
     # -- result assembly -----------------------------------------------------------
 
     def result(
@@ -373,6 +457,9 @@ class SimulatorState:
         summary: TraceSummary,
         core_cycles: int,
         extra_counters: Optional[Dict[str, int]] = None,
+        *,
+        fast_blocks_stepped: int = 0,
+        fast_blocks_skipped: int = 0,
     ) -> SimulationResult:
         """Assemble the :class:`SimulationResult` for the finished simulation."""
         counters = self.memory.counters()
@@ -388,6 +475,8 @@ class SimulatorState:
             memory_counters=counters,
             machine=self.machine,
             engine=self.engine,
+            fast_blocks_stepped=fast_blocks_stepped,
+            fast_blocks_skipped=fast_blocks_skipped,
         )
 
 

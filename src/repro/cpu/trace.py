@@ -205,6 +205,8 @@ def format_trace_op(op: TraceOp) -> str:
             fields.append(f"bytes={instruction.memory.nbytes}")
         if op.label:
             fields.append(f"label={op.label!r}")
+        if instruction.feed_overhead >= 0:
+            fields.append(f"feed={instruction.feed_overhead}")
         return " ".join(fields)
     fields = [op.kind.value.upper()]
     if op.dst_reg is not None:

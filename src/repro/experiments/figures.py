@@ -56,11 +56,15 @@ AREA_POWER_SPEC_VERSION = "1"
 #: v1: initial sparse x sparse sweep (TILE_SPGEMM_U/V, stream-merge feed
 #: latency model).  Bump whenever the SpGEMM kernel encoding, the engine's
 #: intersection latency model, or the validation semantics change.
-SPGEMM_SPEC_VERSION = "1"
+#: v2: L1-set-span-padded SpGEMM layouts, issue-aligned blocks and per-op
+#: data-dependent feed overhead (cycle counts changed).
+SPGEMM_SPEC_VERSION = "2"
 #: v1: initial multi-core tile-grid sharding sweep.  Bump whenever the
 #: partitioner, the shared-L3/DRAM arbiter model, or the workload machine
 #: definitions (incl. ``memory_bound_machine``) change semantics.
-SCALING_SPEC_VERSION = "1"
+#: v2: the SpGEMM workloads inherit the padded layouts / aligned blocks /
+#: data-dependent feed overhead of the rebuilt SpGEMM kernel.
+SCALING_SPEC_VERSION = "2"
 
 #: Headline comparison of the abstract (RASA-DM vs best VEGETA-S design).
 HEADLINE_BASELINE = "VEGETA-D-1-2"

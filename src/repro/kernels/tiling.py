@@ -122,8 +122,16 @@ class TileGrid:
 class MatrixTileLayout:
     """Byte addresses of a matrix stored tile-by-tile in the kernel image.
 
-    Tiles are stored contiguously in row-major tile order; ``tile_bytes`` is
-    the size of one tile's register image.
+    Tiles are stored in row-major tile order.  ``tile_bytes`` is the size of
+    one tile's register image; by default tiles are contiguous
+    (``tile_stride`` = ``tile_bytes``) and rows follow each other directly
+    (``row_stride`` = ``tiles_cols * tile_stride``).  A builder may widen
+    either stride (0 keeps the default) to pad tiles or tile rows out to a
+    cache-friendly alignment — e.g. a multiple of the L1's set span, so
+    every tile row induces the same set-index pattern and the per-block
+    cache behaviour of a periodic kernel stays periodic too.  Padding bytes
+    are never addressed: loads and stores still touch ``tile_bytes`` per
+    tile, so the kernel's cache footprint is unchanged.
     """
 
     base_address: int
@@ -131,12 +139,34 @@ class MatrixTileLayout:
     tiles_cols: int
     tile_bytes: int
     name: str = ""
+    tile_stride: int = 0
+    row_stride: int = 0
 
     def __post_init__(self) -> None:
         if self.base_address < 0 or self.tile_bytes <= 0:
             raise KernelError(f"invalid layout for {self.name or 'matrix'}")
         if self.tiles_rows <= 0 or self.tiles_cols <= 0:
             raise KernelError(f"empty tile grid for {self.name or 'matrix'}")
+        if self.tile_stride and self.tile_stride < self.tile_bytes:
+            raise KernelError(
+                f"tile stride {self.tile_stride} of {self.name or 'matrix'} "
+                f"overlaps its {self.tile_bytes}-byte tiles"
+            )
+        if self.row_stride and self.row_stride < self.tiles_cols * self.effective_tile_stride:
+            raise KernelError(
+                f"row stride {self.row_stride} of {self.name or 'matrix'} "
+                f"overlaps its {self.tiles_cols}-tile rows"
+            )
+
+    @property
+    def effective_tile_stride(self) -> int:
+        """Distance between neighbouring tiles of one row."""
+        return self.tile_stride or self.tile_bytes
+
+    @property
+    def effective_row_stride(self) -> int:
+        """Distance between the first tiles of neighbouring rows."""
+        return self.row_stride or self.tiles_cols * self.effective_tile_stride
 
     def tile_address(self, row: int, col: int) -> int:
         """Address of tile (row, col)."""
@@ -145,13 +175,20 @@ class MatrixTileLayout:
                 f"tile ({row}, {col}) outside grid "
                 f"{self.tiles_rows}x{self.tiles_cols} of {self.name or 'matrix'}"
             )
-        index = row * self.tiles_cols + col
-        return self.base_address + index * self.tile_bytes
+        return (
+            self.base_address
+            + row * self.effective_row_stride
+            + col * self.effective_tile_stride
+        )
 
     @property
     def total_bytes(self) -> int:
-        """Bytes occupied by the whole matrix image."""
-        return self.tiles_rows * self.tiles_cols * self.tile_bytes
+        """Bytes spanned by the whole matrix image (padding included)."""
+        return (
+            (self.tiles_rows - 1) * self.effective_row_stride
+            + (self.tiles_cols - 1) * self.effective_tile_stride
+            + self.tile_bytes
+        )
 
     @property
     def end_address(self) -> int:

@@ -3,6 +3,8 @@
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.__main__ import main
 from repro.analysis.bench import (
     DEFAULT_BENCH_PATH,
@@ -10,8 +12,11 @@ from repro.analysis.bench import (
     DEFAULT_WORKLOADS,
     QUICK_MULTICORE_WORKLOADS,
     QUICK_WORKLOADS,
+    SPEEDUP_FLOORS,
     compare_benchmarks,
+    select_workloads,
 )
+from repro.errors import ConfigurationError
 
 
 class TestDefaultPath:
@@ -72,6 +77,40 @@ class TestCompare:
         baseline = payload([("full-suite-only", 1e9)])
         current = payload([("quick-only", 1.0)])
         assert compare_benchmarks(current, baseline) == []
+
+    def test_speedup_floor_is_enforced(self):
+        # A workload with an absolute speedup floor regresses when it falls
+        # below the floor even if its wall-clock throughput held steady.
+        name, floor = next(iter(SPEEDUP_FLOORS.items()))
+        current = payload([(name, 1000.0)])
+        current["workloads"][0]["speedup"] = floor / 2.0
+        regressions = compare_benchmarks(current, payload([(name, 1000.0)]))
+        assert len(regressions) == 1
+        assert name in regressions[0] and "floor" in regressions[0]
+        current["workloads"][0]["speedup"] = floor + 1.0
+        assert compare_benchmarks(current, payload([(name, 1000.0)])) == []
+
+    def test_floor_names_exist_in_default_suite(self):
+        default_names = {workload.name for workload in DEFAULT_WORKLOADS}
+        assert set(SPEEDUP_FLOORS) <= default_names
+
+
+class TestSelectWorkloads:
+    def test_filters_both_suites_by_name(self):
+        spgemm = next(w for w in DEFAULT_WORKLOADS if w.kind == "spgemm")
+        mc = DEFAULT_MULTICORE_WORKLOADS[0]
+        single, multicore = select_workloads(
+            [spgemm.name, mc.name], DEFAULT_WORKLOADS, DEFAULT_MULTICORE_WORKLOADS
+        )
+        assert [w.name for w in single] == [spgemm.name]
+        assert [w.name for w in multicore] == [mc.name]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            select_workloads(
+                ["no-such-workload"], DEFAULT_WORKLOADS, DEFAULT_MULTICORE_WORKLOADS
+            )
+        assert "no-such-workload" in str(excinfo.value)
 
 
 class TestCheckCli:

@@ -37,9 +37,10 @@ def stored_tiles(program):
     for op in program.trace:
         if op.tile is not None and op.tile.opcode.is_store:
             offset = op.tile.memory.address - layout.base_address
-            assert offset % layout.tile_bytes == 0
-            index = offset // layout.tile_bytes
-            tiles.append(divmod(index, layout.tiles_cols))
+            row, remainder = divmod(offset, layout.effective_row_stride)
+            col, sub_tile = divmod(remainder, layout.effective_tile_stride)
+            assert sub_tile == 0
+            tiles.append((row, col))
     return tiles
 
 
