@@ -43,7 +43,10 @@ def test_table3_design_space(benchmark):
         ],
     )
 
+    assert set(EXPECTED) <= {row["name"] for row in rows}
     for row in rows:
+        if row["name"] not in EXPECTED:
+            continue  # foreign AMX-like / SME-like backends sit outside Table III
         expected = EXPECTED[row["name"]]
         measured = (
             row["nrows"],

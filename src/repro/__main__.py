@@ -40,6 +40,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list the registered experiments")
 
+    subparsers.add_parser(
+        "engines", help="list the engine catalog with tile-geometry columns"
+    )
+
     for command, help_text, default_format in (
         ("run", "run an experiment and print its result table", "table"),
         ("dump", "run an experiment and emit a machine-readable table", "json"),
@@ -81,7 +85,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "--smoke",
             action="store_true",
             help="restrict the sweep to its smallest smoke configuration "
-            "(currently honored by the spgemm and scaling experiments)",
+            "(currently honored by the spgemm, scaling and backends "
+            "experiments)",
         )
         sub.add_argument(
             "--format",
@@ -175,6 +180,42 @@ def _command_list() -> int:
         (experiment.name, experiment.description) for experiment in list_experiments()
     ]
     print(format_table("experiments", ("name", "description"), rows))
+    return 0
+
+
+def _command_engines() -> int:
+    from .core.engine import catalog, get_engine
+
+    columns = (
+        "name",
+        "geometry",
+        "tile",
+        "treg B",
+        "mreg B",
+        "MACs",
+        "PEs",
+        "issue",
+        "sparsity",
+        "prior work",
+    )
+    rows = []
+    for name in catalog():
+        info = get_engine(name).describe()
+        rows.append(
+            (
+                info["name"],
+                info["geometry"],
+                f"{info['tile_rows']}x{info['tile_row_bytes']}B",
+                info["tile_reg_bytes"],
+                info["metadata_reg_bytes"],
+                info["total_macs"],
+                f"{info['nrows']}x{info['ncols']}",
+                info["issue_interval"],
+                ",".join(info["supported_sparsity"]),
+                info["prior_work"],
+            )
+        )
+    print(format_table("engine catalog", columns, rows))
     return 0
 
 
@@ -352,6 +393,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "list":
             return _command_list()
+        if args.command == "engines":
+            return _command_engines()
         if args.command in ("run", "dump"):
             return _command_run(args)
         if args.command == "bench":

@@ -60,12 +60,22 @@ FIGURE13_ENGINE_NAMES = (
 )
 
 
+#: Shorthand backend names accepted by :func:`resolve_engine` in addition to
+#: the full catalog names (``AMX-like`` / ``SME-like`` remain valid too).
+BACKEND_ALIASES = {
+    "AMX": "AMX-like",
+    "SME": "SME-like",
+}
+
+
 def resolve_engine(name: str) -> EngineConfig:
     """Resolve an engine name, including the STC-like base and feature suffixes.
 
-    ``+OF`` enables output forwarding and ``+SPGEMM`` the dual-operand
-    metadata intersection of the sparse x sparse instructions; suffixes may
-    be combined in any order (``VEGETA-S-16-2+OF+SPGEMM``).
+    The base may be any catalog design point, the ``STC-like`` baseline, or a
+    foreign-backend shorthand (``amx`` -> ``AMX-like``, ``sme`` ->
+    ``SME-like``).  ``+OF`` enables output forwarding and ``+SPGEMM`` the
+    dual-operand metadata intersection of the sparse x sparse instructions;
+    suffixes may be combined in any order (``VEGETA-S-16-2+OF+SPGEMM``).
     """
     base, *suffixes = name.split("+")
     flags = {suffix.upper() for suffix in suffixes}
@@ -75,6 +85,7 @@ def resolve_engine(name: str) -> EngineConfig:
             f"unknown engine feature suffix(es) {sorted(unknown)} in {name!r}; "
             "supported: +OF, +SPGEMM"
         )
+    base = BACKEND_ALIASES.get(base.upper(), base)
     engine = stc_like_engine() if base.upper() == "STC-LIKE" else get_engine(base)
     if "OF" in flags:
         engine = engine.with_output_forwarding(True)
@@ -100,7 +111,9 @@ def build_layer_kernel(
     executed = engine.executable_pattern(pattern)
     shape = layer.gemm
     if executed is SparsityPattern.DENSE_4_4:
-        return build_dense_gemm_kernel(shape, max_output_tiles=max_output_tiles)
+        return build_dense_gemm_kernel(
+            shape, max_output_tiles=max_output_tiles, geometry=engine.geometry
+        )
     return build_spmm_kernel(shape, executed, max_output_tiles=max_output_tiles)
 
 

@@ -30,9 +30,11 @@ from typing import Dict, FrozenSet, Optional, Tuple
 from ..errors import ConfigurationError
 from ..types import (
     BLOCK_SIZE_M,
+    DEFAULT_GEOMETRY,
     MACS_PER_OUTPUT_ELEMENT,
     SparsityPattern,
     TILE_FP32_COLS,
+    TileGeometry,
 )
 
 #: Total MAC units in every engine studied in the paper (32 x 16 baseline).
@@ -107,6 +109,11 @@ class EngineConfig:
         (see :meth:`spgemm_feed_overhead`).
     prior_work:
         The prior-work design this configuration models, if any (Table III).
+    geometry:
+        The tile geometry the engine executes
+        (:class:`~repro.types.TileGeometry`); register sizes, feed lengths
+        and MAC accounting all derive from it.  Defaults to the paper's
+        Table II design point.
     """
 
     name: str
@@ -118,18 +125,20 @@ class EngineConfig:
     output_forwarding: bool = False
     spgemm: bool = False
     prior_work: str = ""
+    geometry: TileGeometry = DEFAULT_GEOMETRY
 
     def __post_init__(self) -> None:
         if self.alpha <= 0 or self.beta <= 0:
             raise ConfigurationError(
                 f"alpha/beta must be positive, got alpha={self.alpha}, beta={self.beta}"
             )
-        if MACS_PER_OUTPUT_ELEMENT % self.beta != 0:
+        macs_per_output = self.geometry.macs_per_output_element
+        if macs_per_output % self.beta != 0:
             raise ConfigurationError(
-                f"beta={self.beta} must divide the {MACS_PER_OUTPUT_ELEMENT} "
+                f"beta={self.beta} must divide the {macs_per_output} "
                 "effectual MACs per output element"
             )
-        nrows = MACS_PER_OUTPUT_ELEMENT // self.beta
+        nrows = macs_per_output // self.beta
         per_column_macs = nrows * self.alpha * self.beta
         if self.total_macs % per_column_macs != 0:
             raise ConfigurationError(
@@ -149,6 +158,11 @@ class EngineConfig:
             raise ConfigurationError(
                 "a dense engine cannot claim support for sparse patterns"
             )
+        if self.sparse and not self.geometry.supports_metadata:
+            raise ConfigurationError(
+                f"a sparse engine needs metadata registers; geometry "
+                f"{self.geometry.name!r} has none"
+            )
         if self.spgemm and not self.sparse:
             raise ConfigurationError(
                 "SpGEMM support requires a sparse engine (metadata muxes)"
@@ -159,7 +173,7 @@ class EngineConfig:
     @property
     def nrows(self) -> int:
         """Rows of PEs: effectual MACs per output element divided by beta."""
-        return MACS_PER_OUTPUT_ELEMENT // self.beta
+        return self.geometry.macs_per_output_element // self.beta
 
     @property
     def ncols(self) -> int:
@@ -209,7 +223,18 @@ class EngineConfig:
     @property
     def feed_first_latency(self) -> int:
         """Cycles of the FF stage: the Tn columns of the input tile."""
-        return TILE_N
+        return self.geometry.fp32_cols
+
+    @property
+    def busy_cycles_per_instruction(self) -> int:
+        """Cycles the MAC array is fully busy per dense tile instruction.
+
+        One instruction performs ``geometry.macs_per_tile_instruction`` MACs
+        on ``total_macs`` units; for every paper configuration (8192 MACs on
+        512 units) this is 16 cycles — exactly the Feed-First length, because
+        each fed input column keeps the whole array busy for one cycle.
+        """
+        return max(1, self.geometry.macs_per_tile_instruction // self.total_macs)
 
     @property
     def feed_second_latency(self) -> int:
@@ -320,6 +345,7 @@ class EngineConfig:
             output_forwarding=enabled,
             spgemm=self.spgemm,
             prior_work=self.prior_work,
+            geometry=self.geometry,
         )
 
     def with_spgemm(self, enabled: bool = True) -> "EngineConfig":
@@ -334,28 +360,61 @@ class EngineConfig:
             output_forwarding=self.output_forwarding,
             spgemm=enabled,
             prior_work=self.prior_work,
+            geometry=self.geometry,
         )
 
     def describe(self) -> Dict[str, object]:
-        """Table III row for this engine (used by the design-space benchmark)."""
-        return {
+        """Table III row for this engine, extended with its tile geometry.
+
+        Used by the design-space benchmark and the ``repro engines`` CLI.
+        """
+        row: Dict[str, object] = {
             "name": self.name,
             "nrows": self.nrows,
             "ncols": self.ncols,
+            "total_macs": self.total_macs,
             "macs_per_pe": self.macs_per_pe,
             "inputs_per_pe": self.inputs_per_pe,
             "broadcast_factor": self.alpha,
             "drain_latency": self.drain_latency,
+            "issue_interval": self.issue_interval,
             "supported_sparsity": sorted(
                 pattern.value for pattern in self.supported_patterns
             ),
             "prior_work": self.prior_work,
         }
+        row.update(self.geometry.describe())
+        return row
 
 
 # ---------------------------------------------------------------------------
-# Named configurations of Table III.
+# Named configurations of Table III, plus flexible-ISA backends.
 # ---------------------------------------------------------------------------
+
+#: Intel-AMX-like tile geometry: the same 16 x 64 B tile image as VEGETA
+#: (real AMX tmm registers are 16 rows x 64 B) but no structured-sparsity
+#: metadata registers — AMX has no N:M support.
+AMX_GEOMETRY = TileGeometry(
+    name="amx",
+    rows=16,
+    row_bytes=64,
+    metadata_reg_bytes=0,
+    num_tile_regs=8,
+    num_metadata_regs=0,
+)
+
+#: Arm-SME-like tile geometry at a streaming vector length of 1024 bits:
+#: tiles are SVL/32 x SVL/8 bytes = 32 rows x 128 B (4 KB ZA tile slices),
+#: i.e. 32x32 FP32 / 32x64 BF16 — geometry scales with the vector length
+#: rather than being fixed by the ISA.  No structured-sparsity metadata.
+SME_GEOMETRY = TileGeometry(
+    name="sme",
+    rows=32,
+    row_bytes=128,
+    metadata_reg_bytes=0,
+    num_tile_regs=8,
+    num_metadata_regs=0,
+)
 
 
 def _build_catalog() -> Dict[str, EngineConfig]:
@@ -415,6 +474,28 @@ def _build_catalog() -> Dict[str, EngineConfig]:
             alpha=16,
             beta=2,
             prior_work="New design",
+        ),
+        # Flexible-ISA backends: dense engines with their own tile geometry,
+        # modelled next to the VEGETA design points in the same simulator.
+        EngineConfig(
+            name="AMX-like",
+            sparse=False,
+            alpha=16,
+            beta=1,
+            prior_work="Intel AMX TMUL",
+            geometry=AMX_GEOMETRY,
+        ),
+        EngineConfig(
+            name="SME-like",
+            sparse=False,
+            alpha=1,
+            beta=2,
+            # The outer-product array scales with the vector length: one MAC
+            # per (row, BF16 column) pair keeps the whole 32x32 FP32 tile
+            # fed at one input column per cycle (rows x bf16_cols = 2048).
+            total_macs=SME_GEOMETRY.rows * SME_GEOMETRY.bf16_cols,
+            prior_work="Arm SME (SVL=1024b)",
+            geometry=SME_GEOMETRY,
         ),
     ]
     return {config.name: config for config in configs}

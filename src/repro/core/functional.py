@@ -31,11 +31,10 @@ from ..errors import ExecutionError
 from ..sparse import metadata as sparse_metadata
 from ..types import (
     BLOCK_SIZE_M,
+    DEFAULT_GEOMETRY,
     DType,
     SparsityPattern,
-    TILE_BF16_COLS,
-    TILE_FP32_COLS,
-    TILE_ROWS,
+    TileGeometry,
 )
 from .isa import Instruction, Opcode
 from .memory_image import ByteMemory
@@ -62,21 +61,39 @@ class ExecutionStats:
         self.by_opcode[opcode.value] = self.by_opcode.get(opcode.value, 0) + 1
         if opcode.is_load:
             self.loads += 1
-            self.bytes_loaded += opcode.memory_bytes
+            self.bytes_loaded += (
+                instruction.memory.nbytes
+                if instruction.memory is not None
+                else opcode.memory_bytes
+            )
         elif opcode.is_store:
             self.stores += 1
-            self.bytes_stored += opcode.memory_bytes
+            self.bytes_stored += (
+                instruction.memory.nbytes
+                if instruction.memory is not None
+                else opcode.memory_bytes
+            )
         else:
             self.compute += 1
             self.effectual_macs += macs
 
 
 class FunctionalMachine:
-    """Executes VEGETA instruction sequences with correct arithmetic."""
+    """Executes VEGETA instruction sequences with correct arithmetic.
 
-    def __init__(self, memory: Optional[ByteMemory] = None) -> None:
+    ``geometry`` selects the backend's tile geometry; the default reproduces
+    the paper's Table II design point exactly, while e.g. the SME-like
+    geometry executes 32x32 FP32 tiles through the same instruction set.
+    """
+
+    def __init__(
+        self,
+        memory: Optional[ByteMemory] = None,
+        geometry: TileGeometry = DEFAULT_GEOMETRY,
+    ) -> None:
         self.memory = memory if memory is not None else ByteMemory()
-        self.registers = TileRegisterFile()
+        self.geometry = geometry
+        self.registers = TileRegisterFile(geometry)
         self.stats = ExecutionStats()
         #: Address each treg was last loaded from (for row-wise metadata lookup).
         self._treg_load_address: Dict[int, int] = {}
@@ -145,7 +162,8 @@ class FunctionalMachine:
         elif instruction.dst.kind in ("ureg", "vreg"):
             for offset, index in enumerate(instruction.dst.backing_tregs()):
                 self._treg_load_address[index] = (
-                    instruction.memory.address + offset * 1024
+                    instruction.memory.address
+                    + offset * self.geometry.tile_reg_bytes
                 )
 
     def _execute_store(self, instruction: Instruction) -> None:
@@ -164,9 +182,9 @@ class FunctionalMachine:
         self.registers.write_matrix(ref, full, DType.FP32)
 
     def _execute_gemm(self, instruction: Instruction) -> int:
-        a = self.registers.read_matrix(instruction.src_a, DType.BF16)  # 16 x 32
-        b_t = self.registers.read_matrix(instruction.src_b, DType.BF16)  # 16 x 32 (B^T)
-        c = self._read_accumulator(instruction.dst, TILE_ROWS)  # 16 x 16
+        a = self.registers.read_matrix(instruction.src_a, DType.BF16)  # rows x bf16_cols
+        b_t = self.registers.read_matrix(instruction.src_b, DType.BF16)  # B^T, same shape
+        c = self._read_accumulator(instruction.dst, self.geometry.rows)  # rows x fp32_cols
         update = a @ b_t.T
         self._write_accumulator(instruction.dst, c + update.astype(np.float32))
         return a.shape[0] * b_t.shape[0] * a.shape[1]
@@ -183,13 +201,13 @@ class FunctionalMachine:
         are masked out (they carry no metadata guarantee), matching the
         scalar reference loop element for element.
         """
-        stored = self.registers.read_matrix(a_ref, DType.BF16)  # 16 x 32
+        stored = self.registers.read_matrix(a_ref, DType.BF16)  # rows x bf16_cols
         metadata_bytes = self.registers.read_bytes(mreg(a_ref.index))
         indices = sparse_metadata.unpack_indices(
-            metadata_bytes, TILE_ROWS, TILE_BF16_COLS
+            metadata_bytes, self.geometry.rows, self.geometry.bf16_cols
         )
-        effective_cols = TILE_BF16_COLS * pattern.compression_ratio
-        dense = np.zeros((TILE_ROWS, effective_cols), dtype=np.float32)
+        effective_cols = self.geometry.bf16_cols * pattern.compression_ratio
+        dense = np.zeros((self.geometry.rows, effective_cols), dtype=np.float32)
         n = pattern.n
         used = (effective_cols // BLOCK_SIZE_M) * n  # stored columns per row
         values = stored[:, :used]
@@ -199,7 +217,7 @@ class FunctionalMachine:
         )
         mask = values != 0.0
         rows = np.broadcast_to(
-            np.arange(TILE_ROWS, dtype=np.int64)[:, None], values.shape
+            np.arange(self.geometry.rows, dtype=np.int64)[:, None], values.shape
         )
         dense[rows[mask], targets[mask]] = values[mask]
         return dense
@@ -209,15 +227,15 @@ class FunctionalMachine:
     ) -> int:
         effective_a = self._expand_sparse_a(instruction.src_a, pattern)
         k_effective = effective_a.shape[1]
-        # B is stored transposed: 16 logical rows of k_effective BF16 values.
+        # B is stored transposed: fp32_cols logical rows of k_effective BF16 values.
         b_bytes = self.registers.read_bytes(instruction.src_b)
         raw = np.frombuffer(b_bytes, dtype=np.uint16).astype(np.uint32) << 16
-        b_t = raw.view(np.float32).reshape(TILE_FP32_COLS, k_effective)
-        c = self._read_accumulator(instruction.dst, TILE_ROWS)
+        b_t = raw.view(np.float32).reshape(self.geometry.fp32_cols, k_effective)
+        c = self._read_accumulator(instruction.dst, self.geometry.rows)
         update = effective_a @ b_t.T
         self._write_accumulator(instruction.dst, c + update.astype(np.float32))
         # Effectual MACs: one per stored non-zero per output column.
-        return TILE_ROWS * TILE_BF16_COLS * TILE_FP32_COLS
+        return self.geometry.macs_per_tile_instruction
 
     # -- SpGEMM (sparse x sparse) --------------------------------------------------------
 
@@ -234,7 +252,7 @@ class FunctionalMachine:
         """
         effective_a = self._expand_sparse_a(instruction.src_a, pattern)
         effective_b_t = self._expand_sparse_a(instruction.src_b, pattern)
-        c = self._read_accumulator(instruction.dst, TILE_ROWS)
+        c = self._read_accumulator(instruction.dst, self.geometry.rows)
         update = effective_a @ effective_b_t.T
         self._write_accumulator(instruction.dst, c + update.astype(np.float32))
         # Effectual MACs: one per (A non-zero, B non-zero) pair sharing a K
@@ -258,13 +276,14 @@ class FunctionalMachine:
         stored_flat = self.registers.read_matrix(a_ref, DType.BF16).reshape(-1)
         metadata_bytes = self.registers.read_bytes(mreg(a_ref.index))
         indices_flat = sparse_metadata.unpack_indices(
-            metadata_bytes, TILE_ROWS, TILE_BF16_COLS
+            metadata_bytes, self.geometry.rows, self.geometry.bf16_cols
         ).reshape(-1)
-        effective_cols = BLOCK_SIZE_M * TILE_FP32_COLS  # 64, per Section IV-B
+        # 64 for the default geometry, per Section IV-B.
+        effective_cols = BLOCK_SIZE_M * self.geometry.fp32_cols
         rows = len(patterns)
-        if not 1 <= rows <= 2 * TILE_ROWS:
+        if not 1 <= rows <= 2 * self.geometry.rows:
             raise ExecutionError(
-                f"TILE_SPMM_R supports 1..{2 * TILE_ROWS} rows, got {rows}"
+                f"TILE_SPMM_R supports 1..{2 * self.geometry.rows} rows, got {rows}"
             )
         dense_a = np.zeros((rows, effective_cols), dtype=np.float32)
         # Vectorised scatter over the packed per-row regions: row ``r`` owns
@@ -292,27 +311,28 @@ class FunctionalMachine:
         # B: 64 x 16, stored transposed in a ureg as 16 x 64.
         b_bytes = self.registers.read_bytes(instruction.src_b)
         raw = np.frombuffer(b_bytes, dtype=np.uint16).astype(np.uint32) << 16
-        b_t = raw.view(np.float32).reshape(TILE_FP32_COLS, effective_cols)
-        # C: rows x 16 FP32, packed row-major in the destination ureg.
+        b_t = raw.view(np.float32).reshape(self.geometry.fp32_cols, effective_cols)
+        # C: rows x fp32_cols FP32, packed row-major in the destination ureg.
         c_full = self.registers.read_matrix(instruction.dst, DType.FP32)
-        c = c_full.reshape(-1, TILE_FP32_COLS)[:rows]
+        c = c_full.reshape(-1, self.geometry.fp32_cols)[:rows]
         update = dense_a @ b_t.T
         c_new = c + update.astype(np.float32)
-        flat = c_full.reshape(-1, TILE_FP32_COLS)
+        flat = c_full.reshape(-1, self.geometry.fp32_cols)
         flat[:rows] = c_new
         self.registers.write_matrix(
             instruction.dst, flat.reshape(c_full.shape), DType.FP32
         )
-        return cursor * TILE_FP32_COLS
+        return cursor * self.geometry.fp32_cols
 
 
 def run_program(
     instructions: Sequence[Instruction],
     memory: ByteMemory,
     rowwise_patterns: Optional[Dict[int, Sequence[SparsityPattern]]] = None,
+    geometry: TileGeometry = DEFAULT_GEOMETRY,
 ) -> FunctionalMachine:
     """Convenience wrapper: build a machine, execute, return it."""
-    machine = FunctionalMachine(memory)
+    machine = FunctionalMachine(memory, geometry=geometry)
     if rowwise_patterns:
         for address, patterns in rowwise_patterns.items():
             machine.register_rowwise_patterns(address, patterns)

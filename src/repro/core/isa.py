@@ -41,7 +41,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..errors import IsaError
-from ..types import METADATA_REG_BYTES, TILE_REG_BYTES
+from ..types import DEFAULT_GEOMETRY, METADATA_REG_BYTES, TILE_REG_BYTES, TileGeometry
 from .registers import RegisterRef, mreg
 
 
@@ -117,6 +117,24 @@ _MEMORY_BYTES = {
     Opcode.TILE_LOAD_M: METADATA_REG_BYTES,
     Opcode.TILE_STORE_T: TILE_REG_BYTES,
 }
+#: Register class whose architectural size a load/store transfers.
+_MEMORY_REG_KIND = {
+    Opcode.TILE_LOAD_T: "treg",
+    Opcode.TILE_LOAD_U: "ureg",
+    Opcode.TILE_LOAD_V: "vreg",
+    Opcode.TILE_LOAD_M: "mreg",
+    Opcode.TILE_STORE_T: "treg",
+}
+
+
+def memory_bytes_for(opcode: Opcode, geometry: TileGeometry) -> int:
+    """Bytes a load/store transfers under ``geometry`` (0 for compute ops).
+
+    ``Opcode.memory_bytes`` remains the default-geometry answer; this is the
+    geometry-parameterized form used by ISA validation and the trace layer.
+    """
+    kind = _MEMORY_REG_KIND.get(opcode)
+    return geometry.register_bytes(kind) if kind is not None else 0
 
 
 @dataclass(frozen=True)
@@ -188,8 +206,15 @@ class Instruction:
     #: metadata-intersection cost of the instruction, making the overhead a
     #: first-class part of the trace (and of every timing signature).
     feed_overhead: int = -1
+    #: Tile geometry the instruction's operand sizes are validated against.
+    #: ``None`` means the default VEGETA geometry; a geometry that is
+    #: structurally the default is normalized back to ``None`` so equality
+    #: and hashing of default-geometry instructions are unchanged.
+    geometry: Optional[TileGeometry] = None
 
     def __post_init__(self) -> None:
+        if self.geometry is not None and self.geometry.is_default:
+            object.__setattr__(self, "geometry", None)
         self._validate()
 
     # -- validation -----------------------------------------------------------
@@ -201,6 +226,7 @@ class Instruction:
                 f"{opcode.value} cannot carry a feed_overhead; only tile "
                 "compute instructions extend the Feed-First stage"
             )
+        geometry = self.geometry if self.geometry is not None else DEFAULT_GEOMETRY
         if opcode.is_load:
             if self.dst is None or self.memory is None:
                 raise IsaError(f"{opcode.value} needs a destination register and a memory source")
@@ -209,9 +235,15 @@ class Instruction:
                 raise IsaError(
                     f"{opcode.value} destination must be a {expected}, got {self.dst.name}"
                 )
-            if self.memory.nbytes != opcode.memory_bytes:
+            transfer = memory_bytes_for(opcode, geometry)
+            if transfer == 0:
                 raise IsaError(
-                    f"{opcode.value} transfers {opcode.memory_bytes} bytes, "
+                    f"{opcode.value} is unavailable: geometry "
+                    f"{geometry.name!r} has no metadata registers"
+                )
+            if self.memory.nbytes != transfer:
+                raise IsaError(
+                    f"{opcode.value} transfers {transfer} bytes, "
                     f"memory operand specifies {self.memory.nbytes}"
                 )
         elif opcode.is_store:
@@ -221,9 +253,10 @@ class Instruction:
                 raise IsaError(
                     f"TILE_STORE_T source must be a treg, got {self.src_a.name}"
                 )
-            if self.memory.nbytes != opcode.memory_bytes:
+            transfer = memory_bytes_for(opcode, geometry)
+            if self.memory.nbytes != transfer:
                 raise IsaError(
-                    f"TILE_STORE_T transfers {opcode.memory_bytes} bytes, "
+                    f"TILE_STORE_T transfers {transfer} bytes, "
                     f"memory operand specifies {self.memory.nbytes}"
                 )
         else:
@@ -320,53 +353,88 @@ class Instruction:
 # -- constructors -------------------------------------------------------------
 
 
-def tile_load_t(dst: RegisterRef, address: int, label: str = "") -> Instruction:
-    """Build a ``TILE_LOAD_T`` (1 KB load into a treg)."""
+def tile_load_t(
+    dst: RegisterRef,
+    address: int,
+    label: str = "",
+    geometry: Optional[TileGeometry] = None,
+) -> Instruction:
+    """Build a ``TILE_LOAD_T`` (one tile register's worth of memory)."""
+    nbytes = (geometry or DEFAULT_GEOMETRY).register_bytes("treg")
     return Instruction(
         Opcode.TILE_LOAD_T,
         dst=dst,
-        memory=MemoryOperand(address, TILE_REG_BYTES, label),
+        memory=MemoryOperand(address, nbytes, label),
         label=label,
+        geometry=geometry,
     )
 
 
-def tile_load_u(dst: RegisterRef, address: int, label: str = "") -> Instruction:
-    """Build a ``TILE_LOAD_U`` (2 KB load into a ureg)."""
+def tile_load_u(
+    dst: RegisterRef,
+    address: int,
+    label: str = "",
+    geometry: Optional[TileGeometry] = None,
+) -> Instruction:
+    """Build a ``TILE_LOAD_U`` (two tile registers' worth into a ureg)."""
+    nbytes = (geometry or DEFAULT_GEOMETRY).register_bytes("ureg")
     return Instruction(
         Opcode.TILE_LOAD_U,
         dst=dst,
-        memory=MemoryOperand(address, 2 * TILE_REG_BYTES, label),
+        memory=MemoryOperand(address, nbytes, label),
         label=label,
+        geometry=geometry,
     )
 
 
-def tile_load_v(dst: RegisterRef, address: int, label: str = "") -> Instruction:
-    """Build a ``TILE_LOAD_V`` (4 KB load into a vreg)."""
+def tile_load_v(
+    dst: RegisterRef,
+    address: int,
+    label: str = "",
+    geometry: Optional[TileGeometry] = None,
+) -> Instruction:
+    """Build a ``TILE_LOAD_V`` (four tile registers' worth into a vreg)."""
+    nbytes = (geometry or DEFAULT_GEOMETRY).register_bytes("vreg")
     return Instruction(
         Opcode.TILE_LOAD_V,
         dst=dst,
-        memory=MemoryOperand(address, 4 * TILE_REG_BYTES, label),
+        memory=MemoryOperand(address, nbytes, label),
         label=label,
+        geometry=geometry,
     )
 
 
-def tile_load_m(dst: RegisterRef, address: int, label: str = "") -> Instruction:
-    """Build a ``TILE_LOAD_M`` (128 B metadata load into an mreg)."""
+def tile_load_m(
+    dst: RegisterRef,
+    address: int,
+    label: str = "",
+    geometry: Optional[TileGeometry] = None,
+) -> Instruction:
+    """Build a ``TILE_LOAD_M`` (one metadata register load into an mreg)."""
+    nbytes = (geometry or DEFAULT_GEOMETRY).register_bytes("mreg")
     return Instruction(
         Opcode.TILE_LOAD_M,
         dst=dst,
-        memory=MemoryOperand(address, METADATA_REG_BYTES, label),
+        memory=MemoryOperand(address, nbytes, label),
         label=label,
+        geometry=geometry,
     )
 
 
-def tile_store_t(address: int, src: RegisterRef, label: str = "") -> Instruction:
-    """Build a ``TILE_STORE_T`` (1 KB store from a treg)."""
+def tile_store_t(
+    address: int,
+    src: RegisterRef,
+    label: str = "",
+    geometry: Optional[TileGeometry] = None,
+) -> Instruction:
+    """Build a ``TILE_STORE_T`` (one tile register's worth to memory)."""
+    nbytes = (geometry or DEFAULT_GEOMETRY).register_bytes("treg")
     return Instruction(
         Opcode.TILE_STORE_T,
         src_a=src,
-        memory=MemoryOperand(address, TILE_REG_BYTES, label),
+        memory=MemoryOperand(address, nbytes, label),
         label=label,
+        geometry=geometry,
     )
 
 

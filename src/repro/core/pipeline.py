@@ -282,13 +282,15 @@ class MatrixEnginePipeline:
     def utilization(self) -> float:
         """Fraction of MAC-cycles doing useful work over the makespan.
 
-        Each tile instruction performs 8192 effectual MACs on a 512-MAC
-        array, i.e. 16 fully-busy cycles; utilisation is therefore
-        ``16 * instructions / makespan``.
+        Each tile instruction performs ``geometry.macs_per_tile_instruction``
+        effectual MACs on the engine's ``total_macs`` array — 8192 MACs on
+        512 units = 16 fully-busy cycles for every paper configuration;
+        utilisation is ``busy_cycles_per_instruction * instructions /
+        makespan``.
         """
         if not self._scheduled:
             return 0.0
-        busy = 16 * self._scheduled
+        busy = self.engine.busy_cycles_per_instruction * self._scheduled
         return busy / self.makespan if self.makespan else 0.0
 
 

@@ -22,12 +22,14 @@ import numpy as np
 
 from ..errors import RegisterError
 from ..types import (
+    DEFAULT_GEOMETRY,
     DType,
     METADATA_REG_BYTES,
     NUM_METADATA_REGS,
     NUM_TILE_REGS,
     TILE_REG_BYTES,
     TILE_ROWS,
+    TileGeometry,
     bf16_round,
 )
 
@@ -72,7 +74,13 @@ class RegisterRef:
 
     @property
     def nbytes(self) -> int:
-        """Architectural size of the register in bytes."""
+        """Architectural size of the register under the *default* geometry.
+
+        A ``RegisterRef`` is purely symbolic and carries no geometry; callers
+        working with a non-default backend resolve sizes through
+        :meth:`repro.types.TileGeometry.register_bytes` (as
+        :class:`TileRegisterFile` does) instead of this property.
+        """
         if self.kind == "treg":
             return TILE_REG_BYTES
         if self.kind == "ureg":
@@ -118,29 +126,46 @@ def mreg(index: int) -> RegisterRef:
 
 
 class TileRegisterFile:
-    """Byte-backed architectural register file with treg/ureg/vreg aliasing."""
+    """Byte-backed architectural register file with treg/ureg/vreg aliasing.
 
-    def __init__(self) -> None:
+    Register sizes, row layout and register counts all derive from the
+    backend's :class:`~repro.types.TileGeometry`; the default geometry
+    reproduces the paper's 8 x 1 KB tregs + 8 x 128 B mregs exactly.
+    """
+
+    def __init__(self, geometry: TileGeometry = DEFAULT_GEOMETRY) -> None:
+        self.geometry = geometry
         self._tile_bytes = np.zeros(
-            NUM_TILE_REGS * TILE_REG_BYTES, dtype=np.uint8
+            geometry.num_tile_regs * geometry.tile_reg_bytes, dtype=np.uint8
         )
         self._metadata_bytes = np.zeros(
-            NUM_METADATA_REGS * METADATA_REG_BYTES, dtype=np.uint8
+            geometry.num_metadata_regs * geometry.metadata_reg_bytes, dtype=np.uint8
         )
 
     # -- raw byte access -----------------------------------------------------
 
+    def register_nbytes(self, ref: RegisterRef) -> int:
+        """Size of ``ref`` in bytes under this file's geometry."""
+        return self.geometry.register_bytes(ref.kind)
+
     def _tile_slice(self, ref: RegisterRef) -> slice:
         if ref.kind == "mreg":
             raise RegisterError("use metadata accessors for mreg")
+        tile_bytes = self.geometry.tile_reg_bytes
         first = ref.backing_tregs()[0]
-        return slice(first * TILE_REG_BYTES, first * TILE_REG_BYTES + ref.nbytes)
+        last = ref.backing_tregs()[-1]
+        if (last + 1) * tile_bytes > len(self._tile_bytes):
+            raise RegisterError(
+                f"{ref.name} exceeds the {self.geometry.num_tile_regs}-treg file"
+            )
+        return slice(first * tile_bytes, first * tile_bytes + self.register_nbytes(ref))
 
     def read_bytes(self, ref: RegisterRef) -> bytes:
         """Read the raw contents of a register."""
         if ref.kind == "mreg":
-            start = ref.index * METADATA_REG_BYTES
-            return bytes(self._metadata_bytes[start : start + METADATA_REG_BYTES])
+            size = self.geometry.metadata_reg_bytes
+            start = ref.index * size
+            return bytes(self._metadata_bytes[start : start + size])
         return bytes(self._tile_bytes[self._tile_slice(ref)])
 
     def write_bytes(self, ref: RegisterRef, data: bytes) -> None:
@@ -149,15 +174,16 @@ class TileRegisterFile:
         Short writes are zero-extended to the register size; long writes are
         rejected.
         """
-        if len(data) > ref.nbytes:
+        nbytes = self.register_nbytes(ref)
+        if len(data) > nbytes:
             raise RegisterError(
-                f"{len(data)} bytes do not fit into {ref.name} ({ref.nbytes} bytes)"
+                f"{len(data)} bytes do not fit into {ref.name} ({nbytes} bytes)"
             )
-        padded = np.zeros(ref.nbytes, dtype=np.uint8)
+        padded = np.zeros(nbytes, dtype=np.uint8)
         padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
         if ref.kind == "mreg":
-            start = ref.index * METADATA_REG_BYTES
-            self._metadata_bytes[start : start + METADATA_REG_BYTES] = padded
+            start = ref.index * self.geometry.metadata_reg_bytes
+            self._metadata_bytes[start : start + nbytes] = padded
         else:
             self._tile_bytes[self._tile_slice(ref)] = padded
 
@@ -167,14 +193,13 @@ class TileRegisterFile:
         """Read a tile register as a row-major matrix of ``dtype`` elements.
 
         BF16 contents are widened to float32; FP32 contents are returned as
-        float32.  The matrix has :data:`TILE_ROWS` * (register size / 1 KB)
-        ... more precisely ``ref.nbytes / 64`` rows of
-        ``dtype.elements_per_row()`` columns, matching the hardware's row
-        layout (64 bytes per row regardless of aliasing).
+        float32.  The matrix has ``register size / row_bytes`` rows of
+        ``geometry.cols(dtype)`` columns, matching the hardware's row layout
+        (one geometry row per register row regardless of aliasing).
         """
         raw = np.frombuffer(self.read_bytes(ref), dtype=np.uint8)
-        rows = ref.nbytes // 64
-        cols = dtype.elements_per_row()
+        rows = self.register_nbytes(ref) // self.geometry.row_bytes
+        cols = self.geometry.cols(dtype)
         if dtype is DType.FP32:
             return raw.view(np.float32).reshape(rows, cols).copy()
         # BF16: stored as the upper 16 bits of a float32.
@@ -188,8 +213,8 @@ class TileRegisterFile:
 
         BF16 values are rounded (round-to-nearest-even) before narrowing.
         """
-        rows = ref.nbytes // 64
-        cols = dtype.elements_per_row()
+        rows = self.register_nbytes(ref) // self.geometry.row_bytes
+        cols = self.geometry.cols(dtype)
         matrix = np.asarray(matrix, dtype=np.float32)
         if matrix.shape != (rows, cols):
             raise RegisterError(
@@ -213,8 +238,8 @@ class TileRegisterFile:
     def snapshot(self) -> dict:
         """Copy of all register contents keyed by register name (for debugging)."""
         state = {}
-        for index in range(NUM_TILE_REGS):
+        for index in range(self.geometry.num_tile_regs):
             state[f"treg{index}"] = self.read_bytes(treg(index))
-        for index in range(NUM_METADATA_REGS):
+        for index in range(self.geometry.num_metadata_regs):
             state[f"mreg{index}"] = self.read_bytes(mreg(index))
         return state

@@ -43,9 +43,10 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..core import isa
-from ..core.isa import Instruction, Opcode
+from ..core.isa import Instruction, Opcode, memory_bytes_for
 from ..core.registers import RegisterRef
 from ..errors import SimulationError
+from ..types import DEFAULT_GEOMETRY, TileGeometry
 from .trace import (
     TraceOp,
     TraceOpKind,
@@ -60,7 +61,9 @@ from .trace import (
 
 #: Bump when the simulation-key derivation changes meaning (invalidates every
 #: persisted block-result cache entry at once).
-SIMULATION_KEY_SCHEMA = "2"
+#: v3: tile-op transfer sizes follow the trace's tile geometry (the flexible
+#: ISA refactor) instead of the fixed default-geometry opcode constants.
+SIMULATION_KEY_SCHEMA = "3"
 
 #: The columnar trace record.  ``opcode`` is -1 for non-tile ops; ``dst`` /
 #: ``src_a`` / ``src_b`` hold encoded register references (-1 for none);
@@ -152,12 +155,13 @@ class TraceBuilder:
     later only if the trace is actually stepped through the simulator.
     """
 
-    __slots__ = ("_rows", "_labels", "_label_ids")
+    __slots__ = ("_rows", "_labels", "_label_ids", "geometry")
 
-    def __init__(self) -> None:
+    def __init__(self, geometry: TileGeometry = DEFAULT_GEOMETRY) -> None:
         self._rows: List[tuple] = []
         self._labels: List[str] = []
         self._label_ids: Dict[str, int] = {}
+        self.geometry = geometry
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -187,7 +191,7 @@ class TraceBuilder:
                 _NO_REG,
                 _NO_REG,
                 address,
-                opcode.memory_bytes,
+                memory_bytes_for(opcode, self.geometry),
                 self._label(""),
                 self._label(label),
                 -1,
@@ -219,7 +223,7 @@ class TraceBuilder:
                 encode_register(src),
                 _NO_REG,
                 address,
-                opcode.memory_bytes,
+                memory_bytes_for(opcode, self.geometry),
                 self._label(""),
                 self._label(label),
                 -1,
@@ -313,7 +317,9 @@ class TraceBuilder:
                 f"trace carries {len(self._labels)} distinct labels; "
                 f"the signature packing supports {_LABEL_BOUND}"
             )
-        return ColumnarTrace(columns=columns, labels=tuple(self._labels))
+        return ColumnarTrace(
+            columns=columns, labels=tuple(self._labels), geometry=self.geometry
+        )
 
 
 def _encode_op(op: TraceOp, label_of) -> Optional[tuple]:
@@ -450,6 +456,7 @@ class ColumnarTrace(Sequence):
     __slots__ = (
         "columns",
         "labels",
+        "geometry",
         "_ops",
         "_partial",
         "_signature_ids",
@@ -462,11 +469,13 @@ class ColumnarTrace(Sequence):
         columns: Optional[np.ndarray] = None,
         labels: Tuple[str, ...] = (),
         ops: Optional[List[TraceOp]] = None,
+        geometry: TileGeometry = DEFAULT_GEOMETRY,
     ) -> None:
         if columns is None and ops is None:
             raise SimulationError("a ColumnarTrace needs columns or ops")
         self.columns = columns
         self.labels = labels
+        self.geometry = geometry
         self._ops = ops
         self._partial: Optional[List[Optional[TraceOp]]] = None
         self._signature_ids: Optional[np.ndarray] = None
@@ -481,6 +490,16 @@ class ColumnarTrace(Sequence):
         if isinstance(ops, ColumnarTrace):
             return ops
         ops = list(ops)
+        # Instructions normalise a default geometry to None, so the first
+        # non-None geometry (if any) is the trace's non-default geometry.
+        geometry = next(
+            (
+                op.tile.geometry
+                for op in ops
+                if op.kind is TraceOpKind.TILE and op.tile.geometry is not None
+            ),
+            DEFAULT_GEOMETRY,
+        )
         labels: List[str] = []
         label_ids: Dict[str, int] = {}
 
@@ -496,12 +515,12 @@ class ColumnarTrace(Sequence):
         for op in ops:
             row = _encode_op(op, label_of)
             if row is None:
-                return cls(columns=None, labels=(), ops=ops)
+                return cls(columns=None, labels=(), ops=ops, geometry=geometry)
             rows.append(row)
         if len(labels) >= _LABEL_BOUND:
-            return cls(columns=None, labels=(), ops=ops)
+            return cls(columns=None, labels=(), ops=ops, geometry=geometry)
         columns = np.array(rows, dtype=TRACE_DTYPE) if rows else np.empty(0, TRACE_DTYPE)
-        return cls(columns=columns, labels=tuple(labels), ops=ops)
+        return cls(columns=columns, labels=tuple(labels), ops=ops, geometry=geometry)
 
     # -- sequence protocol ------------------------------------------------------
 
@@ -520,10 +539,14 @@ class ColumnarTrace(Sequence):
         # Materialised ops are a cache when columns exist; do not ship them
         # across process boundaries.
         ops = self._ops if self.columns is None else None
-        return (self.columns, self.labels, ops)
+        return (self.columns, self.labels, ops, self.geometry)
 
     def __setstate__(self, state):
-        self.columns, self.labels, self._ops = state
+        if len(state) == 3:  # pre-geometry pickles
+            self.columns, self.labels, self._ops = state
+            self.geometry = DEFAULT_GEOMETRY
+        else:
+            self.columns, self.labels, self._ops, self.geometry = state
         self._partial = None
         self._signature_ids = None
         self._structure_digest = None
@@ -556,6 +579,7 @@ class ColumnarTrace(Sequence):
 
     def _materialize(self, start: int, end: int) -> List[TraceOp]:
         labels = self.labels
+        geometry = self.geometry
         ops: List[TraceOp] = []
         append = ops.append
         for row in self.columns[start:end]:
@@ -569,6 +593,7 @@ class ColumnarTrace(Sequence):
                         dst=decode_register(int(row["dst"])),
                         memory=isa.MemoryOperand(int(row["address"]), int(row["nbytes"]), label),
                         label=label,
+                        geometry=geometry,
                     )
                 elif opcode.is_store:
                     instruction = Instruction(
@@ -576,6 +601,7 @@ class ColumnarTrace(Sequence):
                         src_a=decode_register(int(row["src_a"])),
                         memory=isa.MemoryOperand(int(row["address"]), int(row["nbytes"]), label),
                         label=label,
+                        geometry=geometry,
                     )
                 else:
                     instruction = Instruction(
@@ -585,6 +611,7 @@ class ColumnarTrace(Sequence):
                         src_b=decode_register(int(row["src_b"])),
                         label=label,
                         feed_overhead=int(row["feed"]),
+                        geometry=geometry,
                     )
                 append(tile_op(instruction))
             elif kind == _KIND_SCALAR:

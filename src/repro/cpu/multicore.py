@@ -307,6 +307,10 @@ def _engine_identity(engine: Optional[EngineConfig]) -> str:
             "output_forwarding": engine.output_forwarding,
             "spgemm": engine.spgemm,
             "prior_work": engine.prior_work,
+            # Structural (value-based) tile geometry: engines whose tiles have
+            # the same shape and register files hash equal on purpose, while a
+            # geometry change (e.g. SME's 32x128 B tiles) invalidates memos.
+            "geometry": list(engine.geometry.identity()),
         },
         sort_keys=True,
     )

@@ -63,7 +63,9 @@ SIMULATION_MODES = ("fast", "exact")
 #: without being visible in the machine/engine parameters — pipeline rules,
 #: latency formulas, feed-overhead constants, cache policy details.
 #: "2": per-instruction (data-dependent) SpGEMM feed overheads.
-SIMULATOR_MODEL_VERSION = "2"
+#: "3": geometry-parameterised engines (busy cycles, feed latencies and tile
+#: transfer sizes derive from the engine's TileGeometry).
+SIMULATOR_MODEL_VERSION = "3"
 
 
 @dataclass
@@ -466,9 +468,10 @@ class SimulatorState:
         if extra_counters:
             for key, value in extra_counters.items():
                 counters[key] = counters.get(key, 0) + value
+        busy_per_op = self.engine.busy_cycles_per_instruction if self.engine else 16
         return SimulationResult(
             core_cycles=core_cycles,
-            engine_busy_cycles=self.engine_ops * 16,
+            engine_busy_cycles=self.engine_ops * busy_per_op,
             engine_makespan_cycles=self.pipeline.makespan if self.pipeline else 0,
             tile_compute_ops=self.engine_ops,
             trace_summary=summary,

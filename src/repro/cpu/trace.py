@@ -68,9 +68,15 @@ class TraceOp:
 
     @property
     def memory_bytes(self) -> int:
-        """Bytes moved by the op (0 for non-memory ops)."""
+        """Bytes moved by the op (0 for non-memory ops).
+
+        Tile ops report their actual operand size, which follows the
+        instruction's tile geometry rather than the default-geometry opcode
+        constant.
+        """
         if self.kind is TraceOpKind.TILE:
-            return self.tile.opcode.memory_bytes
+            memory = self.tile.memory
+            return memory.nbytes if memory is not None else 0
         if self.is_memory:
             return self.nbytes
         return 0

@@ -65,6 +65,10 @@ SPGEMM_SPEC_VERSION = "2"
 #: v2: the SpGEMM workloads inherit the padded layouts / aligned blocks /
 #: data-dependent feed overhead of the rebuilt SpGEMM kernel.
 SCALING_SPEC_VERSION = "2"
+#: v1: initial cross-ISA backend comparison (geometry-parameterised engines).
+#: Bump whenever the backend kernel-selection rules or the foreign-geometry
+#: latency model change semantics.
+BACKENDS_SPEC_VERSION = "1"
 
 #: Headline comparison of the abstract (RASA-DM vs best VEGETA-S design).
 HEADLINE_BASELINE = "VEGETA-D-1-2"
@@ -292,11 +296,18 @@ def build_roofline(options: Dict[str, Any]) -> ExperimentSpec:
 
 
 def figure14_spec(names: Optional[Sequence[str]] = None) -> ExperimentSpec:
-    """The Figure 14 sweep: one trial per Table III engine design point."""
+    """The Figure 14 sweep: one trial per Table III engine design point.
+
+    The foreign AMX-like/SME-like backends are excluded: Figure 14 covers
+    the paper's own design-space sweep, and the analytical cost model is
+    calibrated against the VEGETA synthesis numbers.
+    """
+    if names is None:
+        names = [name for name in catalog() if name.startswith("VEGETA")]
     return ExperimentSpec(
         name="area-power",
         version=AREA_POWER_SPEC_VERSION,
-        axes={"engine": list(names) if names is not None else list(catalog())},
+        axes={"engine": list(names)},
         columns=(
             "engine",
             "area",
@@ -782,6 +793,189 @@ def build_scaling(options: Dict[str, Any]) -> ExperimentSpec:
             "strategies", SCALING_SMOKE_STRATEGIES if smoke else SCALING_STRATEGIES
         ),
         engine_name=options.get("engine", SCALING_ENGINE),
+    )
+
+
+# -- Backends: VEGETA vs AMX-like and SME-like tile geometries ---------------
+
+#: Engines compared by the ``backends`` sweep, in plot order: the paper's best
+#: sparse design (with and without the SpGEMM unit) next to the two foreign
+#: tile-ISA backends modelled through the flexible :class:`TileGeometry`.
+BACKENDS_ENGINE_NAMES = (
+    "VEGETA-S-16-2+OF",
+    "VEGETA-S-16-2+OF+SPGEMM",
+    "AMX-like",
+    "SME-like",
+)
+
+#: Baseline for the reduced ``speedup_vs_baseline`` column: the dense
+#: AMX-like backend, i.e. "how much does each ISA buy over a plain dense
+#: tile extension on the same workload".
+BACKENDS_BASELINE = "AMX-like"
+
+#: Weight-sparsity patterns swept per layer.
+BACKENDS_PATTERNS = (
+    SparsityPattern.DENSE_4_4,
+    SparsityPattern.SPARSE_2_4,
+    SparsityPattern.SPARSE_1_4,
+)
+
+#: Table IV layers whose GEMM shapes tile evenly under *every* swept
+#: geometry (the SME-like 32-row / 32-column tiles exclude the layers with
+#: n = 784 / 196, which are not multiples of 32).
+BACKENDS_LAYERS = (
+    "ResNet50-L1",
+    "ResNet50-L2",
+    "ResNet50-L3",
+    "BERT-L1",
+    "BERT-L2",
+    "BERT-L3",
+    "GPT-L1",
+    "GPT-L2",
+    "GPT-L3",
+)
+
+#: The layers / patterns the ``--smoke`` CLI flag restricts the sweep to.
+BACKENDS_SMOKE_LAYERS = ("ResNet50-L1", "GPT-L1")
+BACKENDS_SMOKE_PATTERNS = (SparsityPattern.DENSE_4_4, SparsityPattern.SPARSE_2_4)
+
+
+def backends_spec(
+    *,
+    layers: Sequence[str] = BACKENDS_LAYERS,
+    engine_names: Sequence[str] = BACKENDS_ENGINE_NAMES,
+    patterns: Sequence[SparsityPattern] = BACKENDS_PATTERNS,
+    machine: Optional[MachineParams] = None,
+    max_output_tiles: Optional[int] = None,
+) -> ExperimentSpec:
+    """The backends sweep: layers x patterns x tile-ISA backends."""
+    from ..cpu.params import default_machine
+
+    resolved_machine = machine if machine is not None else default_machine()
+    return ExperimentSpec(
+        name="backends",
+        version=BACKENDS_SPEC_VERSION,
+        axes={
+            "layer": list(layers),
+            "pattern": [pattern.value for pattern in patterns],
+            "engine": list(engine_names),
+        },
+        fixed={
+            "machine": resolved_machine.to_dict(),
+            "max_output_tiles": max_output_tiles,
+        },
+        columns=(
+            "layer",
+            "pattern",
+            "engine",
+            "geometry",
+            "kernel",
+            "core_cycles_scaled",
+            "traffic_bytes_scaled",
+            "utilization",
+            "simulated_fraction",
+        ),
+    )
+
+
+@trial_runner("backends")
+def run_backends_trial(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Simulate one (layer, pattern, engine) point of the backends sweep.
+
+    Each engine runs the best kernel its ISA supports for the layer's weight
+    pattern:
+
+    * engines with the SpGEMM stream-merge unit run the sparse x sparse
+      ``TILE_SPGEMM`` kernel (modelling the dual-sparse deployment where the
+      activations are pruned to the weight pattern, so its traffic also
+      reflects the compressed B operand);
+    * sparse engines without it run the sparse x dense ``TILE_SPMM`` kernel
+      on whatever fraction of the pattern they can exploit
+      (:meth:`EngineConfig.executable_pattern`);
+    * dense-only backends (AMX-like, SME-like) always run the dense
+      ``TILE_GEMM`` kernel built for *their own* tile geometry — bigger
+      tiles mean fewer instructions per layer, not free cycles, because the
+      per-instruction busy time scales with the tile's MAC count.
+    """
+    from ..cpu.simulator import CycleApproximateSimulator
+    from ..kernels.gemm import build_dense_gemm_kernel
+    from ..kernels.spgemm import build_spgemm_kernel
+    from ..kernels.spmm import build_spmm_kernel
+
+    layer = get_layer(params["layer"])
+    pattern = SparsityPattern(params["pattern"])
+    engine = resolve_engine(params["engine"])
+    machine = MachineParams.from_dict(params["machine"])
+    max_output_tiles = params.get("max_output_tiles")
+
+    executed = engine.executable_pattern(pattern)
+    if engine.spgemm and executed is not SparsityPattern.DENSE_4_4:
+        kernel = "spgemm"
+        program = build_spgemm_kernel(
+            layer.gemm, executed, max_output_tiles=max_output_tiles
+        )
+    elif executed is not SparsityPattern.DENSE_4_4:
+        kernel = "spmm"
+        program = build_spmm_kernel(
+            layer.gemm, executed, max_output_tiles=max_output_tiles
+        )
+    else:
+        kernel = "gemm"
+        program = build_dense_gemm_kernel(
+            layer.gemm, max_output_tiles=max_output_tiles, geometry=engine.geometry
+        )
+
+    simulator = CycleApproximateSimulator(machine=machine, engine=engine)
+    result = simulator.run(program.trace, block_starts=program.block_starts)
+    return {
+        "layer": layer.name,
+        "pattern": pattern.value,
+        "engine": engine.name,
+        "geometry": engine.geometry.name,
+        "kernel": kernel,
+        "core_cycles_scaled": result.core_cycles / program.simulated_fraction,
+        "traffic_bytes_scaled": (
+            result.trace_summary.memory_bytes / program.simulated_fraction
+        ),
+        "utilization": result.engine_utilization,
+        "simulated_fraction": program.simulated_fraction,
+    }
+
+
+def _backends_reduce(table: ResultTable, options: Dict[str, Any]) -> ResultTable:
+    """Append each row's speed-up over the baseline backend on its point."""
+    baseline = resolve_engine(options.get("baseline", BACKENDS_BASELINE)).name
+    baseline_cycles = {
+        (row["layer"], row["pattern"]): float(row["core_cycles_scaled"])
+        for row in table.rows
+        if row["engine"] == baseline
+    }
+    rows = []
+    for row in table.rows:
+        base = baseline_cycles.get((row["layer"], row["pattern"]))
+        speedup = (
+            base / float(row["core_cycles_scaled"]) if base is not None else None
+        )
+        rows.append({**row, "speedup_vs_baseline": speedup})
+    return ResultTable(tuple(table.columns) + ("speedup_vs_baseline",), rows)
+
+
+@register_experiment(
+    "backends",
+    "Backends: VEGETA vs AMX-like and SME-like tile geometries per layer",
+    reduce=_backends_reduce,
+)
+def build_backends(options: Dict[str, Any]) -> ExperimentSpec:
+    smoke = bool(options.get("smoke"))
+    return backends_spec(
+        layers=options.get(
+            "layers", BACKENDS_SMOKE_LAYERS if smoke else BACKENDS_LAYERS
+        ),
+        engine_names=options.get("engines", BACKENDS_ENGINE_NAMES),
+        patterns=options.get(
+            "patterns", BACKENDS_SMOKE_PATTERNS if smoke else BACKENDS_PATTERNS
+        ),
+        max_output_tiles=options.get("max_output_tiles"),
     )
 
 

@@ -29,12 +29,10 @@ from ..core.memory_image import ByteMemory
 from ..core.registers import treg
 from ..cpu.columnar import TraceBuilder
 from ..errors import KernelError
-from ..types import DType, GemmShape, SparsityPattern
+from ..types import DEFAULT_GEOMETRY, DType, GemmShape, SparsityPattern, TileGeometry
 from .program import KernelProgram
 from .tiling import (
     MatrixTileLayout,
-    TILE_M,
-    TILE_N,
     TileGrid,
     align_up,
     validate_blocks,
@@ -51,9 +49,14 @@ TILE_LOOP_BRANCHES = 1
 
 def _plan_layouts(grid: TileGrid) -> dict:
     """Assign non-overlapping memory regions to A, B^T and C tile images."""
-    a_tile_bytes = 1024
-    b_tile_bytes = 1024 * grid.pattern.compression_ratio if grid.pattern is not SparsityPattern.DENSE_4_4 else 1024
-    c_tile_bytes = 1024
+    treg_bytes = grid.geometry.tile_reg_bytes
+    a_tile_bytes = treg_bytes
+    b_tile_bytes = (
+        treg_bytes * grid.pattern.compression_ratio
+        if grid.pattern is not SparsityPattern.DENSE_4_4
+        else treg_bytes
+    )
+    c_tile_bytes = treg_bytes
     base = 0x10000
     a_layout = MatrixTileLayout(
         base_address=base,
@@ -100,17 +103,17 @@ def _fill_dense_operands(
     a_padded[: a.shape[0], : a.shape[1]] = a
     b_padded = np.zeros((padded.k, padded.n), dtype=np.float32)
     b_padded[: b.shape[0], : b.shape[1]] = b
-    tile_k = grid.tile_k
+    tile_m, tile_n, tile_k = grid.tile_m, grid.tile_n, grid.tile_k
     for i in range(grid.tiles_m):
         for k in range(grid.tiles_k):
             tile = a_padded[
-                i * TILE_M : (i + 1) * TILE_M, k * tile_k : (k + 1) * tile_k
+                i * tile_m : (i + 1) * tile_m, k * tile_k : (k + 1) * tile_k
             ]
             memory.write_matrix(layouts["a"].tile_address(i, k), tile, DType.BF16)
     for j in range(grid.tiles_n):
         for k in range(grid.tiles_k):
             tile = b_padded[
-                k * tile_k : (k + 1) * tile_k, j * TILE_N : (j + 1) * TILE_N
+                k * tile_k : (k + 1) * tile_k, j * tile_n : (j + 1) * tile_n
             ]
             memory.write_matrix(layouts["b"].tile_address(j, k), tile.T, DType.BF16)
 
@@ -149,6 +152,7 @@ def build_dense_gemm_kernel(
     include_loop_overhead: bool = True,
     max_output_tiles: Optional[int] = None,
     blocks: Optional[Sequence[Tuple[int, int]]] = None,
+    geometry: TileGeometry = DEFAULT_GEOMETRY,
 ) -> KernelProgram:
     """Build a dense (4:4) tiled GEMM kernel.
 
@@ -174,10 +178,14 @@ def build_dense_gemm_kernel(
         :func:`dense_block_grid`; for ``"listing1"`` it is an output-tile
         coordinate directly.  ``None`` (default) emits the whole kernel and
         is bit-identical to the pre-sharding builder.
+    geometry:
+        Tile geometry of the target backend; every tile extent, register
+        image size and trace transfer size follows it.  The default geometry
+        reproduces the VEGETA kernel byte for byte.
     """
     if variant not in ("optimized", "listing1"):
         raise KernelError(f"unknown GEMM kernel variant {variant!r}")
-    grid = TileGrid(shape=shape, pattern=SparsityPattern.DENSE_4_4)
+    grid = TileGrid(shape=shape, pattern=SparsityPattern.DENSE_4_4, geometry=geometry)
     layouts = _plan_layouts(grid)
 
     memory: Optional[ByteMemory] = None
@@ -193,7 +201,7 @@ def build_dense_gemm_kernel(
         memory = ByteMemory()
         _fill_dense_operands(memory, grid, layouts, a, b)
 
-    trace = TraceBuilder()
+    trace = TraceBuilder(geometry=geometry)
     block_starts: List[int] = []
     emitted = 0
 
@@ -310,4 +318,5 @@ def build_dense_gemm_kernel(
         simulated_fraction=traced / total_tiles if total_tiles else 1.0,
         label=f"dense-gemm-{variant}",
         block_starts=tuple(block_starts),
+        geometry=geometry,
     )

@@ -17,8 +17,8 @@ from ..core.memory_image import ByteMemory
 from ..cpu.columnar import ColumnarTrace, TraceBuilder
 from ..cpu.trace import TraceOp, TraceSummary, summarize_trace
 from ..errors import KernelError
-from ..types import DType, GemmShape, SparsityPattern
-from .tiling import MatrixTileLayout, TILE_M, TILE_N
+from ..types import DEFAULT_GEOMETRY, DType, GemmShape, SparsityPattern, TileGeometry
+from .tiling import MatrixTileLayout
 
 
 @dataclass
@@ -58,6 +58,9 @@ class KernelProgram:
         resolve the steady-state loop body in closed form without scanning
         the trace; ``None`` when the builder has no periodic structure to
         declare (the simulator then falls back to signature detection).
+    geometry:
+        Tile geometry the kernel was built for; C-tile extents and the
+        functional machine's register file follow it.
     """
 
     trace: Union[ColumnarTrace, TraceBuilder, List[TraceOp]]
@@ -70,6 +73,7 @@ class KernelProgram:
     simulated_fraction: float = 1.0
     label: str = ""
     block_starts: Optional[Tuple[int, ...]] = None
+    geometry: TileGeometry = DEFAULT_GEOMETRY
 
     def __post_init__(self) -> None:
         if not 0.0 < self.simulated_fraction <= 1.0:
@@ -107,16 +111,18 @@ class KernelProgram:
         if not self.has_data:
             raise KernelError("this kernel was built trace-only; no data to read back")
         layout = self.c_layout
-        rows = layout.tiles_rows * TILE_M
-        cols = layout.tiles_cols * TILE_N
+        tile_m = self.geometry.rows
+        tile_n = self.geometry.fp32_cols
+        rows = layout.tiles_rows * tile_m
+        cols = layout.tiles_cols * tile_n
         result = np.zeros((rows, cols), dtype=np.float32)
         for tile_row in range(layout.tiles_rows):
             for tile_col in range(layout.tiles_cols):
                 address = layout.tile_address(tile_row, tile_col)
-                tile = self.memory.read_matrix(address, TILE_M, TILE_N, DType.FP32)
+                tile = self.memory.read_matrix(address, tile_m, tile_n, DType.FP32)
                 result[
-                    tile_row * TILE_M : (tile_row + 1) * TILE_M,
-                    tile_col * TILE_N : (tile_col + 1) * TILE_N,
+                    tile_row * tile_m : (tile_row + 1) * tile_m,
+                    tile_col * tile_n : (tile_col + 1) * tile_n,
                 ] = tile
         if self.c_row_permutation is not None:
             restored = np.zeros_like(result)

@@ -42,7 +42,13 @@ from ..cpu.columnar import TraceBuilder
 from ..errors import KernelError
 from ..sparse.blocks import satisfies_pattern
 from ..sparse.compress import compress
-from ..types import DType, GemmShape, SparsityPattern
+from ..types import (
+    DEFAULT_GEOMETRY,
+    DType,
+    GemmShape,
+    SparsityPattern,
+    TileGeometry,
+)
 from .gemm import K_LOOP_SCALARS, TILE_LOOP_SCALARS
 from .program import KernelProgram
 from .tiling import (
@@ -261,6 +267,7 @@ def build_spgemm_kernel(
     include_loop_overhead: bool = True,
     max_output_tiles: Optional[int] = None,
     blocks: Optional[Sequence[Tuple[int, int]]] = None,
+    geometry: TileGeometry = DEFAULT_GEOMETRY,
 ) -> KernelProgram:
     """Build a sparse x sparse GEMM kernel for a joint 2:4 or 1:4 pattern.
 
@@ -272,7 +279,16 @@ def build_spgemm_kernel(
     grid — ``(interleaved row-pair index, output tile column)`` — for one
     core's share of a multi-core partition; ``None`` emits the full kernel,
     bit-identically to the pre-sharding builder.
+
+    SpGEMM kernels are VEGETA-only: the dual compressed operands and their
+    metadata streams assume the default geometry, so any other ``geometry``
+    is rejected.
     """
+    if not geometry.is_default:
+        raise KernelError(
+            f"SpGEMM kernels target the default VEGETA geometry; "
+            f"geometry {geometry.name!r} is not supported"
+        )
     if pattern not in SPGEMM_PATTERNS:
         raise KernelError(
             "build_spgemm_kernel handles joint 2:4 and 1:4 operand patterns; "

@@ -31,7 +31,14 @@ from ..errors import KernelError
 from ..sparse.blocks import minimal_row_patterns, satisfies_pattern
 from ..sparse.compress import compress
 from ..sparse.metadata import pack_indices
-from ..types import DType, GemmShape, SparsityPattern, TILE_FP32_COLS
+from ..types import (
+    DEFAULT_GEOMETRY,
+    DType,
+    GemmShape,
+    SparsityPattern,
+    TILE_FP32_COLS,
+    TileGeometry,
+)
 from .gemm import (
     K_LOOP_BRANCHES,
     K_LOOP_SCALARS,
@@ -96,6 +103,7 @@ def build_spmm_kernel(
     include_loop_overhead: bool = True,
     max_output_tiles: Optional[int] = None,
     blocks: Optional[Sequence[Tuple[int, int]]] = None,
+    geometry: TileGeometry = DEFAULT_GEOMETRY,
 ) -> KernelProgram:
     """Build a 2:4 or 1:4 structured-sparse SPMM kernel.
 
@@ -106,7 +114,16 @@ def build_spmm_kernel(
     grid — ``(interleaved row-pair index, output tile column)`` — for one
     core's share of a multi-core partition; ``None`` emits the full kernel,
     bit-identically to the pre-sharding builder.
+
+    Sparse kernels are VEGETA-only: their metadata packing and aliased
+    ureg/vreg operands assume the default geometry, so any other
+    ``geometry`` is rejected.
     """
+    if not geometry.is_default:
+        raise KernelError(
+            f"structured-sparse kernels target the default VEGETA geometry; "
+            f"geometry {geometry.name!r} is not supported"
+        )
     if pattern not in (SparsityPattern.SPARSE_2_4, SparsityPattern.SPARSE_1_4):
         raise KernelError(
             "build_spmm_kernel handles 2:4 and 1:4; use build_dense_gemm_kernel "

@@ -22,51 +22,71 @@ from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 from ..errors import KernelError
-from ..types import GemmShape, SparsityPattern, TILE_FP32_COLS, TILE_ROWS
+from ..types import (
+    DEFAULT_GEOMETRY,
+    GemmShape,
+    SparsityPattern,
+    TILE_FP32_COLS,
+    TILE_ROWS,
+    TileGeometry,
+)
 
-#: Dense (4:4) K-extent of one A tile / one tile instruction.
+#: Dense (4:4) K-extent of one A tile / one tile instruction, under the
+#: default geometry (non-default backends derive it from ``bf16_cols``).
 BASE_TILE_K = 32
 
-#: Rows of an A/C tile (and columns of a C tile).
+#: Rows of an A/C tile (and columns of a C tile) under the default geometry.
 TILE_M = TILE_ROWS  # 16
 TILE_N = TILE_FP32_COLS  # 16
 
 
-def tile_k_for_pattern(pattern: SparsityPattern) -> int:
+def tile_k_for_pattern(
+    pattern: SparsityPattern, geometry: TileGeometry = DEFAULT_GEOMETRY
+) -> int:
     """Effective K covered by one tile instruction for a given A pattern."""
     if pattern is SparsityPattern.ROW_WISE:
         # TILE_SPMM_R always covers an effective width of 64 (Section IV-B).
         return 64
-    return BASE_TILE_K * pattern.compression_ratio
+    return geometry.bf16_cols * pattern.compression_ratio
 
 
 @dataclass(frozen=True)
 class TileGrid:
-    """The tile decomposition of one GEMM problem for one A-sparsity pattern."""
+    """The tile decomposition of one GEMM problem for one A-sparsity pattern.
+
+    All tile extents derive from ``geometry``; the default geometry gives the
+    paper's 16x16 C tiles and 32-element dense K-steps.
+    """
 
     shape: GemmShape
     pattern: SparsityPattern
+    geometry: TileGeometry = DEFAULT_GEOMETRY
 
     def __post_init__(self) -> None:
         if self.pattern is SparsityPattern.ROW_WISE:
             raise KernelError(
                 "row-wise kernels use their own packing; TileGrid handles fixed N:4"
             )
+        if self.pattern is not SparsityPattern.DENSE_4_4 and not self.geometry.supports_metadata:
+            raise KernelError(
+                f"geometry {self.geometry.name!r} has no metadata registers; "
+                f"only dense kernels can target it"
+            )
 
     @property
     def tile_m(self) -> int:
         """Rows of C covered per tile."""
-        return TILE_M
+        return self.geometry.rows
 
     @property
     def tile_n(self) -> int:
         """Columns of C covered per tile."""
-        return TILE_N
+        return self.geometry.fp32_cols
 
     @property
     def tile_k(self) -> int:
         """Effective K covered per tile instruction."""
-        return tile_k_for_pattern(self.pattern)
+        return tile_k_for_pattern(self.pattern, self.geometry)
 
     @property
     def padded_shape(self) -> GemmShape:

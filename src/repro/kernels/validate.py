@@ -23,7 +23,7 @@ def run_functional(program: KernelProgram) -> np.ndarray:
     """Execute a kernel program functionally and return the C result matrix."""
     if not program.has_data:
         raise KernelError("cannot functionally execute a trace-only kernel")
-    machine = FunctionalMachine(program.memory)
+    machine = FunctionalMachine(program.memory, geometry=program.geometry)
     for address, patterns in program.rowwise_patterns.items():
         machine.register_rowwise_patterns(address, patterns)
     for op in program.trace:

@@ -5,6 +5,11 @@ widths, block size M = 4) that many packages need.  They live here, together
 with the enums describing data types and sparsity patterns, so that
 ``repro.sparse``, ``repro.core`` and ``repro.kernels`` agree on them without
 circular imports.
+
+Tile geometry is parameterized through :class:`TileGeometry`; the historical
+module-level constants (``TILE_ROWS``, ``TILE_REG_BYTES``, ...) are **legacy
+aliases of the default geometry** :data:`DEFAULT_GEOMETRY` and describe only
+the VEGETA design point, not AMX-/SME-like backends.
 """
 
 from __future__ import annotations
@@ -18,6 +23,14 @@ from .errors import ConfigurationError
 
 # ---------------------------------------------------------------------------
 # Structural constants from the paper (Section IV).
+#
+# Since the flexible-ISA refactor these module-level constants are **legacy
+# aliases of the default tile geometry** (:data:`DEFAULT_GEOMETRY`, the
+# paper's Table II design point).  New code should consume a
+# :class:`TileGeometry` — carried by ``EngineConfig`` and threaded through
+# the register file, functional machine, kernel builders and trace layer —
+# instead of importing these names; they remain only so the VEGETA default
+# stays a pinned special case (and so existing call sites keep working).
 # ---------------------------------------------------------------------------
 
 #: Number of rows in a tile register (16 rows of 64 bytes = 1 KB).
@@ -55,6 +68,164 @@ MACS_PER_TILE_INSTRUCTION = 8192
 
 #: Effectual MACs contributing to each output element of a tile instruction.
 MACS_PER_OUTPUT_ELEMENT = 32
+
+
+@dataclass(frozen=True)
+class TileGeometry:
+    """Architectural tile geometry of a matrix-engine backend.
+
+    The VEGETA paper fixes one design point (16 rows x 64 B = 1 KB tregs,
+    128 B mregs); "A Flexible Instruction Set Architecture for Efficient
+    GEMMs" argues these should be ISA *parameters*.  A ``TileGeometry``
+    captures everything the register file, ISA size validation, functional
+    semantics, latency formulas and kernel tiling need to know about one
+    backend's tile shape:
+
+    * ``rows`` / ``row_bytes`` — the tile register image (``rows`` rows of
+      ``row_bytes`` bytes each);
+    * ``metadata_reg_bytes`` — the sparsity-metadata register size (0 for
+      backends without structured-sparsity support, e.g. AMX/SME);
+    * ``num_tile_regs`` / ``num_metadata_regs`` — architectural register
+      counts (ureg/vreg classes alias 2 / 4 consecutive tregs).
+
+    The dense C tile is ``rows x fp32_cols``; because the functional GEMM
+    computes ``A (rows x bf16_cols) @ B^T (rows x bf16_cols)^T`` into C, the
+    geometry must be *square* in FP32 elements: ``rows == row_bytes // 4``.
+    Both 16x64 B (VEGETA, AMX) and 32x128 B (SME at SVL = 1024 bit) satisfy
+    this.
+    """
+
+    name: str = "vegeta"
+    rows: int = 16
+    row_bytes: int = 64
+    metadata_reg_bytes: int = 128
+    num_tile_regs: int = 8
+    num_metadata_regs: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.row_bytes <= 0:
+            raise ConfigurationError(
+                f"tile geometry dimensions must be positive, got "
+                f"{self.rows} rows x {self.row_bytes} B"
+            )
+        if self.row_bytes % 4:
+            raise ConfigurationError(
+                f"tile row bytes must hold whole FP32 elements, got {self.row_bytes}"
+            )
+        if self.rows != self.row_bytes // 4:
+            raise ConfigurationError(
+                f"tile geometry must be square in FP32 elements "
+                f"(rows == row_bytes / 4), got {self.rows} rows x "
+                f"{self.row_bytes // 4} FP32 cols"
+            )
+        if self.metadata_reg_bytes < 0:
+            raise ConfigurationError("metadata register size cannot be negative")
+        if (self.metadata_reg_bytes == 0) != (self.num_metadata_regs == 0):
+            raise ConfigurationError(
+                "metadata register size and count must be zero together"
+            )
+        if self.num_tile_regs < 8:
+            # The kernel builders register-allocate treg0..treg7 (and the
+            # ureg/vreg classes alias pairs/quads of them).
+            raise ConfigurationError(
+                f"backends need at least 8 tile registers, got {self.num_tile_regs}"
+            )
+
+    # -- derived sizes -----------------------------------------------------------
+
+    @property
+    def tile_reg_bytes(self) -> int:
+        """Bytes in one tile register."""
+        return self.rows * self.row_bytes
+
+    def cols(self, dtype: "DType") -> int:
+        """Elements of ``dtype`` per tile-register row."""
+        return self.row_bytes // dtype.nbytes
+
+    @property
+    def fp32_cols(self) -> int:
+        """FP32 elements per tile row (the dense C tile is rows x fp32_cols)."""
+        return self.row_bytes // 4
+
+    @property
+    def bf16_cols(self) -> int:
+        """BF16 elements per tile row (the dense K covered by one tile)."""
+        return self.row_bytes // 2
+
+    @property
+    def macs_per_output_element(self) -> int:
+        """Effectual MACs contributing to each output element (the dense K)."""
+        return self.bf16_cols
+
+    @property
+    def macs_per_tile_instruction(self) -> int:
+        """Useful MACs per dense tile instruction (rows x fp32_cols x bf16_cols)."""
+        return self.rows * self.fp32_cols * self.bf16_cols
+
+    @property
+    def supports_metadata(self) -> bool:
+        """Whether the backend has sparsity-metadata registers at all."""
+        return self.metadata_reg_bytes > 0
+
+    def register_bytes(self, kind: str) -> int:
+        """Architectural size of one register of ``kind`` (treg/ureg/vreg/mreg)."""
+        if kind == "treg":
+            return self.tile_reg_bytes
+        if kind == "ureg":
+            return 2 * self.tile_reg_bytes
+        if kind == "vreg":
+            return 4 * self.tile_reg_bytes
+        if kind == "mreg":
+            return self.metadata_reg_bytes
+        raise ConfigurationError(f"unknown register kind {kind!r}")
+
+    # -- identity ---------------------------------------------------------------
+
+    def identity(self) -> tuple:
+        """Structural identity (values, not the name) for memo/cache keys.
+
+        Two geometries with equal identities validate, execute and time
+        identically, so simulation memo keys hash this tuple — an AMX-like
+        backend that happens to share VEGETA's 16x64 B tile image hashes
+        equal on purpose.
+        """
+        return (
+            self.rows,
+            self.row_bytes,
+            self.metadata_reg_bytes,
+            self.num_tile_regs,
+            self.num_metadata_regs,
+        )
+
+    @property
+    def is_default(self) -> bool:
+        """Whether this geometry is structurally the VEGETA default."""
+        return self.identity() == DEFAULT_GEOMETRY.identity()
+
+    def describe(self) -> dict:
+        """Geometry columns for catalog listings (``repro engines``)."""
+        return {
+            "geometry": self.name,
+            "tile_rows": self.rows,
+            "tile_row_bytes": self.row_bytes,
+            "tile_reg_bytes": self.tile_reg_bytes,
+            "fp32_cols": self.fp32_cols,
+            "bf16_cols": self.bf16_cols,
+            "metadata_reg_bytes": self.metadata_reg_bytes,
+            "num_tile_regs": self.num_tile_regs,
+            "num_metadata_regs": self.num_metadata_regs,
+        }
+
+
+#: The paper's Table II design point; the pinned special case every
+#: bit-exactness invariant (golden traces, fastsim, memo keys) runs on.
+DEFAULT_GEOMETRY = TileGeometry()
+
+assert DEFAULT_GEOMETRY.tile_reg_bytes == TILE_REG_BYTES
+assert DEFAULT_GEOMETRY.fp32_cols == TILE_FP32_COLS
+assert DEFAULT_GEOMETRY.bf16_cols == TILE_BF16_COLS
+assert DEFAULT_GEOMETRY.macs_per_tile_instruction == MACS_PER_TILE_INSTRUCTION
+assert DEFAULT_GEOMETRY.macs_per_output_element == MACS_PER_OUTPUT_ELEMENT
 
 
 class DType(enum.Enum):

@@ -72,9 +72,10 @@ class TestFrequency:
 
 
 class TestFigure14Table:
-    def test_one_row_per_engine_in_order(self):
+    def test_one_row_per_vegeta_engine_in_order(self):
         rows = figure14_table()
-        assert [row.name for row in rows] == list(catalog().keys())
+        expected = [name for name in catalog() if name.startswith("VEGETA")]
+        assert [row.name for row in rows] == expected
 
     def test_custom_subset(self):
         rows = figure14_table(["VEGETA-S-2-2"])

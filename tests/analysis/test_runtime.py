@@ -60,6 +60,29 @@ class TestResolveEngine:
         with pytest.raises(ConfigurationError):
             resolve_engine("VEGETA-X-3-9+OF")
 
+    def test_backend_aliases_resolve_case_insensitively(self):
+        for spelling in ("amx", "AMX", "Amx"):
+            assert resolve_engine(spelling).name == "AMX-like"
+        for spelling in ("sme", "SME", "Sme"):
+            assert resolve_engine(spelling).name == "SME-like"
+
+    def test_full_backend_names_still_resolve(self):
+        assert resolve_engine("AMX-like").geometry.name == "amx"
+        assert resolve_engine("SME-like").geometry.name == "sme"
+
+    def test_backend_alias_composes_with_of_suffix(self):
+        engine = resolve_engine("amx+OF")
+        assert engine.name == "AMX-like+OF"
+        assert engine.output_forwarding
+
+    def test_backend_alias_with_unknown_suffix_rejected(self):
+        with pytest.raises(ConfigurationError, match="suffix"):
+            resolve_engine("sme+TURBO")
+
+    def test_unknown_backend_shorthand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_engine("avx")
+
 
 class TestBuildLayerKernel:
     def test_dense_engine_runs_dense_kernel_for_sparse_weights(self):
@@ -82,6 +105,15 @@ class TestBuildLayerKernel:
             layer, SparsityPattern.SPARSE_1_4, resolve_engine("STC-like"), max_output_tiles=1
         )
         assert program.pattern is SparsityPattern.SPARSE_2_4
+
+    def test_foreign_backend_builds_dense_kernel_in_its_geometry(self):
+        layer = get_layer("BERT-L2")
+        engine = resolve_engine("sme")
+        program = build_layer_kernel(
+            layer, SparsityPattern.SPARSE_2_4, engine, max_output_tiles=1
+        )
+        assert program.pattern is SparsityPattern.DENSE_4_4
+        assert program.geometry is engine.geometry
 
 
 class TestSimulateLayer:

@@ -142,3 +142,36 @@ def test_bench_writes_payload(tmp_path, capsys):
 def test_bench_rejects_bad_shape(capsys):
     assert main(["bench", "--shape", "12x34"]) == 2
     assert "error" in capsys.readouterr().err
+
+
+def test_engines_lists_catalog_with_geometry_columns(capsys):
+    assert main(["engines"]) == 0
+    out = capsys.readouterr().out
+    for name in ("VEGETA-D-1-2", "VEGETA-S-16-2", "AMX-like", "SME-like"):
+        assert name in out
+    # Geometry columns: the default 16x64 B tile next to SME's 32x128 B one.
+    assert "16x64B" in out
+    assert "32x128B" in out
+    assert "4096" in out  # the SME tile register image
+
+
+def test_run_backends_smoke_produces_four_engine_table(capsys, cache_dir):
+    argv = [
+        "run", "backends",
+        "--smoke",
+        "--max-output-tiles", "2",
+        "--cache-dir", cache_dir,
+        "--format", "csv",
+    ]
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    lines = captured.out.strip().splitlines()
+    header = lines[0].split(",")
+    assert "speedup_vs_baseline" in header
+    engines = {line.split(",")[header.index("engine")] for line in lines[1:]}
+    assert engines == {
+        "VEGETA-S-16-2+OF",
+        "VEGETA-S-16-2+OF+SPGEMM",
+        "AMX-like",
+        "SME-like",
+    }

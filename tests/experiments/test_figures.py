@@ -246,3 +246,66 @@ class TestSpgemmExperiment:
             # matrix cannot be validated functionally.
             assert row["exact_match"] is True
             assert row["functional_match"] is None
+
+
+class TestBackendsExperiment:
+    def test_registered_and_listed(self):
+        from repro.experiments.registry import list_experiments
+
+        names = {experiment.name for experiment in list_experiments()}
+        assert "backends" in names
+
+    def test_spec_axes_and_cache_versioning(self):
+        from repro.experiments.figures import (
+            BACKENDS_ENGINE_NAMES,
+            BACKENDS_SPEC_VERSION,
+            backends_spec,
+        )
+
+        spec = backends_spec()
+        assert spec.version == BACKENDS_SPEC_VERSION
+        assert tuple(spec.axes["engine"]) == BACKENDS_ENGINE_NAMES
+        assert "AMX-like" in spec.axes["engine"]
+        assert "SME-like" in spec.axes["engine"]
+        # Only geometry-compatible layers are swept: every shape must tile
+        # evenly under the 32-row / 32-column SME tiles too.
+        for name in spec.axes["layer"]:
+            shape = get_layer(name).gemm
+            assert shape.m % 32 == 0 and shape.n % 32 == 0 and shape.k % 64 == 0
+
+    def test_trials_select_each_backends_best_kernel(self, tmp_path):
+        from repro.experiments.figures import backends_spec
+
+        spec = backends_spec(
+            layers=("ResNet50-L1",),
+            patterns=(SparsityPattern.SPARSE_2_4,),
+            max_output_tiles=2,
+        )
+        table = run_experiment(spec, cache=ResultCache(tmp_path))
+        kernels = {row["engine"]: row["kernel"] for row in table.rows}
+        assert kernels == {
+            "VEGETA-S-16-2+OF": "spmm",
+            "VEGETA-S-16-2+OF+SPGEMM": "spgemm",
+            "AMX-like": "gemm",
+            "SME-like": "gemm",
+        }
+        geometries = {row["engine"]: row["geometry"] for row in table.rows}
+        assert geometries["SME-like"] == "sme"
+        assert geometries["AMX-like"] == "amx"
+
+    def test_reduce_appends_speedup_over_amx_baseline(self, tmp_path):
+        table = run_named(
+            "backends",
+            {
+                "layers": ("ResNet50-L1",),
+                "max_output_tiles": 2,
+            },
+            cache=ResultCache(tmp_path),
+        )
+        assert "speedup_vs_baseline" in table.columns
+        by_engine = {
+            (row["pattern"], row["engine"]): row["speedup_vs_baseline"]
+            for row in table.rows
+        }
+        for pattern in ("4:4", "2:4", "1:4"):
+            assert by_engine[(pattern, "AMX-like")] == pytest.approx(1.0)

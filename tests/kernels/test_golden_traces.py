@@ -17,6 +17,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.core.engine import AMX_GEOMETRY, SME_GEOMETRY
 from repro.cpu.trace import format_trace
 from repro.kernels.gemm import build_dense_gemm_kernel
 from repro.kernels.spgemm import build_spgemm_kernel
@@ -49,6 +50,11 @@ GOLDEN_KERNELS = {
     "spgemm-1of4": lambda: build_spgemm_kernel(SHAPE, SparsityPattern.SPARSE_1_4),
     "spmm-rowwise": _rowwise_program,
     "vector-gemm": lambda: build_vector_gemm_kernel(GemmShape(m=32, n=32, k=64)),
+    # Foreign tile geometries: AMX shares VEGETA's 16x64 B tile image (same
+    # trace as gemm-optimized by construction), SME's 32x128 B tiles change
+    # every address, transfer size and block boundary.
+    "gemm-amx": lambda: build_dense_gemm_kernel(SHAPE, geometry=AMX_GEOMETRY),
+    "gemm-sme": lambda: build_dense_gemm_kernel(SHAPE, geometry=SME_GEOMETRY),
 }
 
 
