@@ -44,6 +44,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "engines", help="list the engine catalog with tile-geometry columns"
     )
 
+    subparsers.add_parser(
+        "topologies",
+        help="list the shared-memory topology presets with per-level "
+        "capacity/bandwidth columns",
+    )
+
     for command, help_text, default_format in (
         ("run", "run an experiment and print its result table", "table"),
         ("dump", "run an experiment and emit a machine-readable table", "json"),
@@ -87,6 +93,21 @@ def _build_parser() -> argparse.ArgumentParser:
             help="restrict the sweep to its smallest smoke configuration "
             "(currently honored by the spgemm, scaling and backends "
             "experiments)",
+        )
+        sub.add_argument(
+            "--topology",
+            action="append",
+            default=None,
+            metavar="NAME",
+            help="restrict the scaling sweep's topology axis to this preset "
+            "(repeatable; see 'topologies')",
+        )
+        sub.add_argument(
+            "--cores",
+            default=None,
+            metavar="N[,N...]",
+            help="restrict the scaling sweep's core-count axis "
+            "(comma-separated list)",
         )
         sub.add_argument(
             "--format",
@@ -164,6 +185,17 @@ def _experiment_options(args: argparse.Namespace) -> Dict[str, Any]:
         options["seed"] = args.seed
     if getattr(args, "smoke", False):
         options["smoke"] = True
+    if getattr(args, "topology", None):
+        options["topologies"] = list(args.topology)
+    if getattr(args, "cores", None):
+        try:
+            options["cores"] = [
+                int(part) for part in args.cores.split(",") if part.strip()
+            ]
+        except ValueError:
+            raise ConfigurationError(
+                f"--cores expects a comma-separated integer list, got {args.cores!r}"
+            )
     return options
 
 
@@ -216,6 +248,43 @@ def _command_engines() -> int:
             )
         )
     print(format_table("engine catalog", columns, rows))
+    return 0
+
+
+def _command_topologies() -> int:
+    from .cpu.params import TOPOLOGY_PRESETS
+
+    def describe_capacity(capacity: Optional[int]) -> str:
+        if capacity is None:
+            return "-"
+        if capacity % (1024 * 1024) == 0:
+            return f"{capacity // (1024 * 1024)} MB"
+        return f"{capacity // 1024} KB"
+
+    def describe_bandwidth(node) -> str:
+        if node.bandwidth_gbps is not None:
+            return f"{node.bandwidth_gbps:g} GB/s"
+        if node.bytes_per_cycle is not None:
+            return f"{node.bytes_per_cycle:g} B/cyc"
+        # Mirrors the machine's effective DRAM line rate (see cpu.topology).
+        return f"{node.bandwidth_scale:g}x DRAM"
+
+    columns = ("preset", "node", "level", "capacity", "bandwidth", "cores")
+    rows = []
+    for preset_name, factory in TOPOLOGY_PRESETS.items():
+        topology = factory()
+        for path, node in topology.walk():
+            rows.append(
+                (
+                    preset_name,
+                    path,
+                    node.level,
+                    describe_capacity(node.capacity_bytes),
+                    describe_bandwidth(node),
+                    node.cores if node.cores else node.total_cores,
+                )
+            )
+    print(format_table("topology presets", columns, rows))
     return 0
 
 
@@ -395,6 +464,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_list()
         if args.command == "engines":
             return _command_engines()
+        if args.command == "topologies":
+            return _command_topologies()
         if args.command in ("run", "dump"):
             return _command_run(args)
         if args.command == "bench":

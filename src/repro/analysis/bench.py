@@ -99,7 +99,11 @@ class BenchWorkload:
 
 @dataclass(frozen=True)
 class MulticoreBenchWorkload:
-    """One multi-core benchmark point: a sharded kernel under the arbiter."""
+    """One multi-core benchmark point: a sharded kernel under the arbiter.
+
+    ``topology`` names a :data:`repro.cpu.params.TOPOLOGY_PRESETS` entry to
+    arbitrate under (None = the legacy flat shared pool).
+    """
 
     name: str
     kind: str
@@ -108,9 +112,17 @@ class MulticoreBenchWorkload:
     engine_name: str
     cores: int
     strategy: str
+    topology: Optional[str] = None
 
     def engine(self) -> EngineConfig:
         return resolve_engine(self.engine_name)
+
+    def resolve_topology(self):
+        if self.topology is None:
+            return None
+        from ..cpu.params import get_topology
+
+        return get_topology(self.topology)
 
 
 #: The single-core benchmark workloads: a long dense K-loop kernel (the
@@ -182,6 +194,20 @@ DEFAULT_MULTICORE_WORKLOADS = (
         engine_name="VEGETA-S-16-2+OF+SPGEMM",
         cores=8,
         strategy="row-block",
+    ),
+    # The rack-scale point: 128 cores (2 block-grid cells each) placed on
+    # the dual-socket topology, domain-aligned 2D-cyclic partition.  This is
+    # the regime block memoization exists for — 128 private simulations
+    # collapse into a handful of signature classes.
+    MulticoreBenchWorkload(
+        name="mc-gemm-128x-dual-socket",
+        kind="gemm",
+        shape=GemmShape(512, 512, 512),
+        pattern=SparsityPattern.DENSE_4_4,
+        engine_name="VEGETA-S-16-2+OF+SPGEMM",
+        cores=128,
+        strategy="2d-cyclic",
+        topology="dual-socket",
     ),
 )
 
@@ -343,25 +369,37 @@ def benchmark_multicore_workload(workload: MulticoreBenchWorkload) -> Dict[str, 
     memoized and unmemoized makespans are cross-checked for bit-equality.
     """
     engine = workload.engine()
+    topology = workload.resolve_topology()
     build_started = time.perf_counter()
     sharded = shard_kernel(
-        workload.kind, workload.shape, workload.pattern, workload.cores, workload.strategy
+        workload.kind,
+        workload.shape,
+        workload.pattern,
+        workload.cores,
+        workload.strategy,
+        topology=topology,
     )
     build_seconds = time.perf_counter() - build_started
     trace_ops = sum(len(program.trace) for program in sharded.programs)
 
     def run_nomemo():
         clear_simulation_memo()
-        return simulate_multicore(sharded.programs, engine=engine, memo=False)
+        return simulate_multicore(
+            sharded.programs, engine=engine, topology=topology, memo=False
+        )
 
     def run_memo_cold():
         clear_simulation_memo()
-        return simulate_multicore(sharded.programs, engine=engine, memo=True)
+        return simulate_multicore(
+            sharded.programs, engine=engine, topology=topology, memo=True
+        )
 
     nomemo, nomemo_seconds = _best_time(run_nomemo)
     memo, memo_seconds = _best_time(run_memo_cold)
     _, memo_warm_seconds = _best_time(
-        lambda: simulate_multicore(sharded.programs, engine=engine, memo=True)
+        lambda: simulate_multicore(
+            sharded.programs, engine=engine, topology=topology, memo=True
+        )
     )
     clear_simulation_memo()
 
@@ -373,6 +411,7 @@ def benchmark_multicore_workload(workload: MulticoreBenchWorkload) -> Dict[str, 
         "engine": workload.engine_name,
         "cores": workload.cores,
         "strategy": workload.strategy,
+        "topology": workload.topology,
         "trace_ops": trace_ops,
         "build_seconds": build_seconds,
         "nomemo_seconds": nomemo_seconds,

@@ -8,8 +8,10 @@ Sub-modules:
 * :mod:`repro.cpu.trace` — dynamic instruction traces (the Pin-tool replacement),
 * :mod:`repro.cpu.columnar` — the columnar (structured-array) trace format,
 * :mod:`repro.cpu.simulator` — the trace-driven simulator,
-* :mod:`repro.cpu.multicore` — N-core simulation with shared-L3/DRAM
-  arbitration and block-signature memoization.
+* :mod:`repro.cpu.topology` — the recursive bandwidth topology (cores →
+  L3 slices → sockets → nodes) and its generalized fluid arbiter,
+* :mod:`repro.cpu.multicore` — N-core simulation with topology-aware
+  shared-memory arbitration and block-signature memoization.
 """
 
 from .cache import AccessResult, Cache, CacheHierarchy, CacheStats
@@ -24,8 +26,27 @@ from .multicore import (
     simulate_program_cached,
     simulation_cache_key,
 )
-from .params import CacheParams, CoreParams, MachineParams, MemoryParams, default_machine
+from .params import (
+    TOPOLOGY_PRESETS,
+    CacheParams,
+    CoreParams,
+    MachineParams,
+    MemoryParams,
+    chiplet_machine,
+    default_machine,
+    dual_socket_machine,
+    flat_topology,
+    get_topology,
+    topology_names,
+)
 from .simulator import CycleApproximateSimulator, SimulationResult
+from .topology import (
+    CorePlacement,
+    TopologyNode,
+    arbitrate_topology,
+    place_cores,
+    resolve_traffic,
+)
 from .trace import (
     TraceOp,
     TraceOpKind,
@@ -48,6 +69,7 @@ __all__ = [
     "CacheHierarchy",
     "CacheParams",
     "CacheStats",
+    "CorePlacement",
     "CoreParams",
     "CycleApproximateSimulator",
     "MachineParams",
@@ -57,12 +79,22 @@ __all__ = [
     "MulticoreSimulationResult",
     "SharedMemoryParams",
     "SimulationResult",
+    "TOPOLOGY_PRESETS",
+    "TopologyNode",
     "TraceOp",
     "TraceOpKind",
     "TraceSummary",
     "arbitrate_bandwidth",
+    "arbitrate_topology",
     "branch_op",
+    "chiplet_machine",
     "default_machine",
+    "dual_socket_machine",
+    "flat_topology",
+    "get_topology",
+    "place_cores",
+    "resolve_traffic",
+    "topology_names",
     "format_trace",
     "format_trace_op",
     "scalar_op",

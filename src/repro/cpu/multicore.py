@@ -29,11 +29,26 @@ memory system on top:
   demand disappears — so contention shows up in *cycles* (a longer
   makespan), not just in byte counts.
 
+Both pieces are special cases of the **recursive bandwidth topology** in
+:mod:`repro.cpu.topology`: the flat shared pool is a one-level tree (a DRAM
+root over a single shared-L3 leaf), and :func:`simulate_multicore` routes
+every simulation through the general model — cores are placed on leaf
+locality domains (:func:`~repro.cpu.topology.place_cores`), miss traffic is
+filtered bottom-up per level (:func:`~repro.cpu.topology.resolve_traffic`,
+capacity hits resolved per *domain* footprint), and the generalized fluid
+arbiter (:func:`~repro.cpu.topology.arbitrate_topology`) dilates each core by
+the most-congested resource on its leaf-to-root path.  NUMA and chiplet
+presets (``dual_socket_machine``, ``chiplet_machine`` in
+:mod:`repro.cpu.params`) are just deeper trees; the flat
+:class:`SharedMemoryParams` path stays bit-identical to the pre-topology
+model by construction, pinned by the test suite per kernel and strategy.
+
 With one core the arbiter is structurally a no-op: the private simulator
 already throttles the core's DRAM traffic to the same bandwidth the shared
-channel offers, so its demand can never exceed supply and the multi-core
-result is bit-identical to the single-core simulation (an invariant the test
-suite pins for every kernel).
+channel offers — and every preset level supplies at least that mirrored
+rate — so its demand can never exceed supply and the multi-core result is
+bit-identical to the single-core simulation (an invariant the test suite
+pins for every kernel and every topology preset).
 """
 
 from __future__ import annotations
@@ -50,28 +65,30 @@ import numpy as np
 
 from ..core.engine import EngineConfig
 from ..errors import SimulationError
-from .params import MachineParams, default_machine
+from .params import (
+    DEFAULT_L3_BYTES_PER_CYCLE,
+    DEFAULT_L3_CAPACITY_BYTES,
+    MachineParams,
+    default_machine,
+)
 from .simulator import (
     SIMULATOR_MODEL_VERSION,
     CycleApproximateSimulator,
     SimulationResult,
+)
+from .topology import (
+    MAX_ARBITER_STEPS,
+    CorePlacement,
+    TopologyNode,
+    arbitrate_topology,
+    place_cores,
+    resolve_traffic,
 )
 from .trace import TraceSummary, trace_memory_footprint
 
 #: Environment variable disabling block-signature memoization (set to any
 #: value other than ``0``); every core is then simulated individually.
 NO_MEMO_ENV = "REPRO_NO_MEMO"
-
-#: Default shared-L3 capacity (a server-class last-level cache slice pool).
-DEFAULT_L3_CAPACITY_BYTES = 32 * 1024 * 1024
-
-#: Default shared-L3 port bandwidth in bytes per core cycle (two 64 B lines).
-DEFAULT_L3_BYTES_PER_CYCLE = 128.0
-
-#: Hard bound on arbiter iterations (a runaway-model backstop; the loop
-#: steps from core completion to core completion, so it can only trip on a
-#: genuinely broken progress computation).
-MAX_ARBITER_STEPS = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -116,6 +133,28 @@ class SharedMemoryParams:
         """Shared L3 port bandwidth in lines per core cycle."""
         return self.l3_bytes_per_cycle / machine.l1.line_bytes
 
+    def to_topology(self, cores: int = 1) -> TopologyNode:
+        """The flat shared pool as a one-level recursive topology.
+
+        A DRAM root over a single shared-L3 leaf, with the same bandwidth
+        resolution rules — the tree the general model arbitrates is
+        bit-identical to the pre-topology flat arbiter.
+        """
+        return TopologyNode(
+            name="dram",
+            level="dram",
+            bandwidth_gbps=self.dram_bandwidth_gbps,
+            children=(
+                TopologyNode(
+                    name="l3",
+                    level="l3",
+                    capacity_bytes=self.l3_capacity_bytes,
+                    bytes_per_cycle=self.l3_bytes_per_cycle,
+                    cores=max(1, cores),
+                ),
+            ),
+        )
+
 
 @dataclass
 class ArbitrationOutcome:
@@ -147,69 +186,39 @@ def arbitrate_bandwidth(
     rates are constant between completions, so each step runs exactly to the
     next core's finish.  When no resource is ever oversubscribed every core
     finishes at exactly its private cycle count.
+
+    This is the two-resource special case of
+    :func:`~repro.cpu.topology.arbitrate_topology` (the recursive-topology
+    arbiter), kept as the stable entry point for flat DRAM + L3 arbitration.
     """
     cores = len(core_cycles)
     if not (len(dram_lines) == len(l3_lines) == cores):
         raise SimulationError("per-core traffic vectors must match the core count")
-    rate_dram = [
-        (lines / cycles if cycles else 0.0)
-        for lines, cycles in zip(dram_lines, core_cycles)
-    ]
-    rate_l3 = [
-        (lines / cycles if cycles else 0.0)
-        for lines, cycles in zip(l3_lines, core_cycles)
-    ]
-    remaining = [float(cycles) for cycles in core_cycles]
-    finish = [0.0] * cores
-    active = [index for index in range(cores) if remaining[index] > 0]
-    wall = 0.0
-    contended = False
-    steps = 0
-    while active:
-        steps += 1
-        if steps > max_steps:
-            raise SimulationError(
-                f"bandwidth arbitration exceeded {max_steps} time steps"
-            )
-        demand_dram = sum(rate_dram[index] for index in active)
-        demand_l3 = sum(rate_l3[index] for index in active)
-        throttle_dram = (
-            min(1.0, dram_lines_per_cycle / demand_dram) if demand_dram > 0 else 1.0
-        )
-        throttle_l3 = (
-            min(1.0, l3_lines_per_cycle / demand_l3) if demand_l3 > 0 else 1.0
-        )
-        if min(throttle_dram, throttle_l3) < 1.0:
-            contended = True
-        factors = {}
-        for index in active:
-            factor = 1.0
-            if rate_dram[index] > 0.0:
-                factor = min(factor, throttle_dram)
-            if rate_l3[index] > 0.0:
-                factor = min(factor, throttle_l3)
-            factors[index] = factor
-        step = min(remaining[index] / factors[index] for index in active)
-        wall += step
-        still_active = []
-        for index in active:
-            remaining[index] -= factors[index] * step
-            if remaining[index] <= 1e-9:
-                remaining[index] = 0.0
-                finish[index] = wall
-            else:
-                still_active.append(index)
-        active = still_active
-    finish_cycles = [int(math.ceil(value - 1e-6)) if value > 0 else 0 for value in finish]
-    makespan = max(finish_cycles) if finish_cycles else 0
+    outcome = arbitrate_topology(
+        core_cycles,
+        demands=[list(dram_lines), list(l3_lines)],
+        supplies=[dram_lines_per_cycle, l3_lines_per_cycle],
+        names=["dram", "l3"],
+        max_steps=max_steps,
+    )
     return ArbitrationOutcome(
-        finish_cycles=finish_cycles, makespan=makespan, contended=contended
+        finish_cycles=outcome.finish_cycles,
+        makespan=outcome.makespan,
+        contended=outcome.contended,
     )
 
 
 @dataclass
 class MulticoreSimulationResult:
-    """Outcome of simulating per-core programs under shared-memory arbitration."""
+    """Outcome of simulating per-core programs under shared-memory arbitration.
+
+    ``dram_lines`` are the per-core lines that reached the topology root
+    (DRAM) after every shared-cache level filtered its share;
+    ``l3_hit_lines`` the per-core lines absorbed by shared caches anywhere on
+    the path.  ``shared`` is the legacy flat parameter block when the run was
+    configured that way (None under an explicit topology); ``topology`` and
+    ``placement`` always describe the tree that was arbitrated.
+    """
 
     core_cycles: int
     per_core: List[SimulationResult]
@@ -219,8 +228,16 @@ class MulticoreSimulationResult:
     contended: bool
     machine: MachineParams
     engine: Optional[EngineConfig]
-    shared: SharedMemoryParams
+    shared: Optional[SharedMemoryParams]
     memory_counters: Dict[str, int] = field(default_factory=dict)
+    topology: Optional[TopologyNode] = None
+    placement: Optional[CorePlacement] = None
+    #: Per-node fraction of supply used over the makespan, keyed by node name.
+    node_utilization: Dict[str, float] = field(default_factory=dict)
+    #: Same, aggregated over nodes sharing a level label ("l3", "dram", ...).
+    level_utilization: Dict[str, float] = field(default_factory=dict)
+    #: Node names oversubscribed during at least one arbiter step.
+    saturated: List[str] = field(default_factory=list)
 
     @property
     def cores(self) -> int:
@@ -241,11 +258,24 @@ class MulticoreSimulationResult:
 
     @property
     def bandwidth_utilization(self) -> float:
-        """Fraction of the shared DRAM line bandwidth used over the makespan."""
+        """Fraction of the root (DRAM) line bandwidth used over the makespan."""
         if self.core_cycles == 0:
             return 0.0
-        supply = self.shared.dram_lines_per_cycle(self.machine) * self.core_cycles
+        if self.shared is not None:
+            rate = self.shared.dram_lines_per_cycle(self.machine)
+        elif self.topology is not None:
+            rate = self.topology.lines_per_cycle(self.machine)
+        else:
+            return 0.0
+        supply = rate * self.core_cycles
         return min(1.0, sum(self.dram_lines) / supply) if supply else 0.0
+
+    @property
+    def numa_domains(self) -> int:
+        """Number of distinct leaf locality domains the cores were placed on."""
+        if self.placement is None:
+            return 1
+        return len(set(self.placement.leaf_index))
 
     @property
     def runtime_seconds(self) -> float:
@@ -507,6 +537,7 @@ def simulate_multicore(
     engine: Optional[EngineConfig] = None,
     mode: str = "fast",
     shared: Optional[SharedMemoryParams] = None,
+    topology: Optional[TopologyNode] = None,
     memo: Optional[bool] = None,
     block_cache: Optional[Any] = None,
     jobs: Optional[int] = None,
@@ -516,8 +547,18 @@ def simulate_multicore(
     ``programs`` is one entry per core, each carrying a ``trace`` and
     (optionally) ``block_starts`` — a :class:`~repro.kernels.program.KernelProgram`
     or any duck-typed equivalent.  Every core runs the existing private
-    simulator in ``mode``; the shared-L3 estimate and bandwidth arbiter then
-    convert cross-core miss traffic into a (possibly dilated) makespan.
+    simulator in ``mode``; shared-cache filtering and bandwidth arbitration
+    then convert cross-core miss traffic into a (possibly dilated) makespan.
+
+    The shared memory system is a recursive :class:`TopologyNode` tree
+    (``topology``) — e.g. ``dual_socket_machine()`` /``chiplet_machine()``
+    from :mod:`repro.cpu.params`.  ``shared`` is the legacy flat
+    parameterization; it is converted to the equivalent one-level tree and
+    arbitrated through the same general model, bit-identically to the
+    pre-topology arbiter.  Passing both is an error; passing neither uses
+    the flat defaults.  Because private simulations are topology-independent
+    (the topology never enters :func:`simulation_cache_key`), sweeping the
+    topology axis re-uses every memoized per-core result.
 
     **Block-signature memoization.**  The per-core programs of a sharded
     kernel are largely address-shifted copies of one another.  Cores are
@@ -533,8 +574,14 @@ def simulate_multicore(
     """
     if not programs:
         raise SimulationError("simulate_multicore needs at least one per-core program")
+    if shared is not None and topology is not None:
+        raise SimulationError(
+            "pass either the flat shared parameters or a topology, not both"
+        )
     machine = machine if machine is not None else default_machine()
-    shared = shared if shared is not None else SharedMemoryParams()
+    if topology is None:
+        shared = shared if shared is not None else SharedMemoryParams()
+        topology = shared.to_topology(len(programs))
     memo_enabled = memoization_enabled(memo)
 
     line_bytes = machine.l1.line_bytes
@@ -578,51 +625,62 @@ def simulate_multicore(
         _footprint_line_array(program.trace, line_bytes) for program in programs
     ]
 
-    # Analytic shared L3: capacity misses (beyond each core's compulsory
-    # footprint) hit in proportion to how much of the combined working set
-    # fits; compulsory misses always pay the DRAM trip.
-    combined_lines = (
-        int(np.unique(np.concatenate(footprints)).size) if footprints else 0
-    )
-    combined_bytes = combined_lines * line_bytes
-    fit_fraction = (
-        min(1.0, shared.l3_capacity_bytes / combined_bytes) if combined_bytes else 1.0
-    )
+    # Place the cores on the topology's leaf locality domains, filter their
+    # private miss traffic bottom-up through the shared cache levels, and
+    # arbitrate every level's port bandwidth in one fluid pass.
+    placement = place_cores(topology, len(programs))
     private_dram = [
         result.memory_counters.get("dram_line_requests", 0) for result in per_core
     ]
-    l3_hit_lines: List[int] = []
-    dram_lines: List[int] = []
-    for lines, footprint in zip(private_dram, footprints):
-        capacity_misses = max(0, lines - int(footprint.size))
-        hits = int(capacity_misses * fit_fraction)
-        l3_hit_lines.append(hits)
-        dram_lines.append(lines - hits)
-
-    outcome = arbitrate_bandwidth(
+    traffic = resolve_traffic(topology, machine, placement, private_dram, footprints)
+    outcome = arbitrate_topology(
         [result.core_cycles for result in per_core],
-        dram_lines,
-        private_dram,  # every private DRAM-bound line traverses the L3 port
-        dram_lines_per_cycle=shared.dram_lines_per_cycle(machine),
-        l3_lines_per_cycle=shared.l3_lines_per_cycle(machine),
+        traffic.demands,
+        traffic.supplies,
+        traffic.names,
     )
+
+    node_utilization: Dict[str, float] = {}
+    level_demand: Dict[str, int] = {}
+    level_supply: Dict[str, float] = {}
+    for name, level, supply, row in zip(
+        traffic.names, traffic.levels, traffic.supplies, traffic.demands
+    ):
+        total = sum(row)
+        capacity = supply * outcome.makespan
+        node_utilization[name] = min(1.0, total / capacity) if capacity else 0.0
+        level_demand[level] = level_demand.get(level, 0) + total
+        level_supply[level] = level_supply.get(level, 0.0) + supply
+    level_utilization = {
+        level: (
+            min(1.0, level_demand[level] / (level_supply[level] * outcome.makespan))
+            if level_supply[level] * outcome.makespan
+            else 0.0
+        )
+        for level in level_demand
+    }
 
     counters: Dict[str, int] = {}
     for result in per_core:
         for key, value in result.memory_counters.items():
             counters[key] = counters.get(key, 0) + value
-    counters["l3_hit_lines"] = sum(l3_hit_lines)
-    counters["shared_dram_lines"] = sum(dram_lines)
+    counters["l3_hit_lines"] = sum(traffic.hit_lines)
+    counters["shared_dram_lines"] = sum(traffic.root_lines)
 
     return MulticoreSimulationResult(
         core_cycles=outcome.makespan,
         per_core=per_core,
         finish_cycles=outcome.finish_cycles,
-        dram_lines=dram_lines,
-        l3_hit_lines=l3_hit_lines,
+        dram_lines=traffic.root_lines,
+        l3_hit_lines=traffic.hit_lines,
         contended=outcome.contended,
         machine=machine,
         engine=engine,
         shared=shared,
         memory_counters=counters,
+        topology=topology,
+        placement=placement,
+        node_utilization=node_utilization,
+        level_utilization=level_utilization,
+        saturated=outcome.saturated,
     )

@@ -11,9 +11,16 @@ Section III-A.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Mapping
+from typing import Any, Callable, Dict, List, Mapping
 
 from ..errors import ConfigurationError
+from .topology import TopologyNode
+
+#: Default shared-L3 capacity (a server-class last-level cache slice pool).
+DEFAULT_L3_CAPACITY_BYTES = 32 * 1024 * 1024
+
+#: Default shared-L3 port bandwidth in bytes per core cycle (two 64 B lines).
+DEFAULT_L3_BYTES_PER_CYCLE = 128.0
 
 
 @dataclass(frozen=True)
@@ -157,3 +164,134 @@ def memory_bound_machine() -> MachineParams:
         memory=MemoryParams(dram_bandwidth_gbps=12.0),
         prefetch_into_l2=False,
     )
+
+
+# -- shared-memory topology presets ---------------------------------------------
+#
+# The recursive bandwidth topologies the multi-core simulator arbitrates
+# (:mod:`repro.cpu.topology`).  Nodes without an explicit bandwidth *mirror*
+# the host machine's effective DRAM line rate scaled by ``bandwidth_scale``,
+# so every preset works unchanged on the default and the memory-bound
+# machines, and — because every level's supply is at least one mirrored
+# channel — a single core can never oversubscribe any path (the cores=1
+# bit-identity invariant holds under every preset).
+
+
+def flat_topology(cores: int = 128) -> TopologyNode:
+    """The flat shared pool as a topology: one L3 slice under one DRAM root.
+
+    Bit-identical to the pre-topology ``SharedMemoryParams()`` default — the
+    same 32 MB shared L3 at 128 B/cycle over a mirrored DRAM channel.
+    """
+    return TopologyNode(
+        name="dram",
+        level="dram",
+        children=(
+            TopologyNode(
+                name="l3",
+                level="l3",
+                capacity_bytes=DEFAULT_L3_CAPACITY_BYTES,
+                bytes_per_cycle=DEFAULT_L3_BYTES_PER_CYCLE,
+                cores=cores,
+            ),
+        ),
+    )
+
+
+def dual_socket_machine() -> TopologyNode:
+    """Shared-memory topology of a dual-socket NUMA server (128 core slots).
+
+    Two sockets, each with its own memory link (one mirrored DRAM channel)
+    and two 16 MB L3 slices of 32 core slots; the root aggregates both
+    sockets' memory controllers (2x one channel).  A socket's cores share
+    its slices and its link — contention is resolved per socket, so a
+    memory-bound kernel sharded across both sockets sees twice the flat
+    machine's aggregate bandwidth, while an imbalanced placement saturates
+    one socket's link with the other idle.
+    """
+    sockets = []
+    for socket in range(2):
+        slices = tuple(
+            TopologyNode(
+                name=f"l3-{socket}{index}",
+                level="l3",
+                capacity_bytes=16 * 1024 * 1024,
+                bytes_per_cycle=DEFAULT_L3_BYTES_PER_CYCLE,
+                cores=32,
+            )
+            for index in range(2)
+        )
+        sockets.append(
+            TopologyNode(
+                name=f"socket{socket}",
+                level="interconnect",
+                bandwidth_scale=1.0,
+                children=slices,
+            )
+        )
+    return TopologyNode(
+        name="dram",
+        level="dram",
+        bandwidth_scale=2.0,
+        children=tuple(sockets),
+    )
+
+
+def chiplet_machine() -> TopologyNode:
+    """Shared-memory topology of a chiplet package over HBM (128 core slots).
+
+    The Occamy shape: two chiplets on fast die-to-die links (2x a mirrored
+    channel each), four 8 MB L3 slices of 16 core slots per chiplet, and an
+    HBM root supplying 4x one channel.  Deeper and more bandwidth-rich than
+    the dual-socket tree, but with smaller per-domain caches — kernels whose
+    per-slice footprint fits 8 MB scale almost linearly, footprint-heavy
+    ones pay at the slice level instead of the root.
+    """
+    chiplets = []
+    for chiplet in range(2):
+        slices = tuple(
+            TopologyNode(
+                name=f"l3-{chiplet}{index}",
+                level="l3",
+                capacity_bytes=8 * 1024 * 1024,
+                bytes_per_cycle=DEFAULT_L3_BYTES_PER_CYCLE,
+                cores=16,
+            )
+            for index in range(4)
+        )
+        chiplets.append(
+            TopologyNode(
+                name=f"chiplet{chiplet}",
+                level="interconnect",
+                bandwidth_scale=2.0,
+                children=slices,
+            )
+        )
+    return TopologyNode(
+        name="hbm",
+        level="dram",
+        bandwidth_scale=4.0,
+        children=tuple(chiplets),
+    )
+
+
+#: Registered topology presets, by the names the CLI and experiments use.
+TOPOLOGY_PRESETS: Dict[str, Callable[[], TopologyNode]] = {
+    "flat": flat_topology,
+    "dual-socket": dual_socket_machine,
+    "chiplet": chiplet_machine,
+}
+
+
+def topology_names() -> List[str]:
+    """Registered topology preset names, in registration order."""
+    return list(TOPOLOGY_PRESETS)
+
+
+def get_topology(name: str) -> TopologyNode:
+    """Build a registered topology preset by name."""
+    factory = TOPOLOGY_PRESETS.get(name)
+    if factory is None:
+        known = ", ".join(sorted(TOPOLOGY_PRESETS))
+        raise ConfigurationError(f"unknown topology {name!r} (known: {known})")
+    return factory()

@@ -64,7 +64,7 @@ SPGEMM_SPEC_VERSION = "2"
 #: definitions (incl. ``memory_bound_machine``) change semantics.
 #: v2: the SpGEMM workloads inherit the padded layouts / aligned blocks /
 #: data-dependent feed overhead of the rebuilt SpGEMM kernel.
-SCALING_SPEC_VERSION = "2"
+SCALING_SPEC_VERSION = "3"
 #: v1: initial cross-ISA backend comparison (geometry-parameterised engines).
 #: Bump whenever the backend kernel-selection rules or the foreign-geometry
 #: latency model change semantics.
@@ -563,6 +563,15 @@ SCALING_STRATEGIES = ("row-block", "column-block", "2d-cyclic")
 #: The strategies the ``--smoke`` CLI flag restricts the sweep to.
 SCALING_SMOKE_STRATEGIES = ("row-block",)
 
+#: Shared-memory topology presets swept (mirrors cpu.params.TOPOLOGY_PRESETS;
+#: spelled out so the spec stays plain data).  ``"flat"`` runs the legacy
+#: single-pool parameters and is bit-identical to the pre-topology sweep.
+SCALING_TOPOLOGIES = ("flat", "dual-socket", "chiplet")
+
+#: The topologies the ``--smoke`` CLI flag restricts the sweep to (CI smokes
+#: the NUMA path on every push).
+SCALING_SMOKE_TOPOLOGIES = ("flat", "dual-socket")
+
 
 def _scaling_workloads() -> List[Dict[str, Any]]:
     """The workload axis of the scaling sweep, machines resolved inline.
@@ -617,10 +626,17 @@ def scaling_spec(
     workloads: Optional[Sequence[Dict[str, Any]]] = None,
     cores: Sequence[int] = SCALING_CORES,
     strategies: Sequence[str] = SCALING_STRATEGIES,
+    topologies: Sequence[str] = SCALING_TOPOLOGIES,
     engine_name: str = SCALING_ENGINE,
     shared: Optional[Dict[str, Any]] = None,
 ) -> ExperimentSpec:
-    """The scaling sweep: workloads x core counts x partition strategies."""
+    """The scaling sweep: workloads x cores x strategies x topologies.
+
+    The topology axis carries preset *names* (resolved by the trial runner
+    via :func:`repro.cpu.params.get_topology`) so the spec stays plain data;
+    ``"flat"`` runs the legacy ``shared`` parameter block through the
+    pre-topology code path, bit-identically.
+    """
     import dataclasses
 
     from ..cpu.multicore import SharedMemoryParams
@@ -635,6 +651,7 @@ def scaling_spec(
             "workload": list(workloads) if workloads is not None else _scaling_workloads(),
             "cores": [int(count) for count in cores],
             "strategy": list(strategies),
+            "topology": list(topologies),
         },
         fixed={"engine": engine_name, "shared": resolved_shared},
         columns=(
@@ -651,6 +668,13 @@ def scaling_spec(
             "contended",
             "idle_cores",
             "single_core_match",
+            # Topology-axis columns (appended so flat rows stay column-stable
+            # against pre-topology tables).
+            "topology",
+            "numa_penalty",
+            "l3_utilization",
+            "interconnect_utilization",
+            "dram_utilization",
         ),
     )
 
@@ -723,41 +747,75 @@ def _scaling_baseline_cycles(workload: Dict[str, Any], engine_name: str) -> int:
 
 @trial_runner("scaling")
 def run_scaling_trial(params: Dict[str, Any]) -> Dict[str, Any]:
-    """Simulate one (workload, cores, strategy) point of the scaling sweep.
+    """Simulate one (workload, cores, strategy, topology) sweep point.
 
-    The kernel's block grid is partitioned with the trial's strategy, the
+    The kernel's block grid is partitioned with the trial's strategy (made
+    hierarchy-aware by the trial's topology: cores are placed on its leaf
+    locality domains and the 2D-cyclic process grid aligns to them), the
     per-core programs run the private fast-path simulator deduplicated by
     block-signature memoization (one simulation per signature class, with
     the persistent store making equal classes recur for free across trials
     and sweeps; ``REPRO_NO_MEMO=1`` disables it, bit-identically), and the
-    shared L3/DRAM arbiter converts cross-core miss traffic into the
-    makespan the speed-up is computed from.  Every trial also simulates the
-    unsharded single-core kernel as its own baseline; for ``cores == 1`` the
-    row records whether the sharded makespan matched it bit-for-bit (the
-    invariant the multi-core model is built on).
+    recursive-topology arbiter converts cross-core miss traffic into the
+    makespan the speed-up is computed from.  Because the memo key is
+    topology-independent, the topology axis re-uses every per-core
+    simulation of the other topologies' trials — only placement, cache
+    filtering and arbitration re-run.
+
+    Every trial also simulates the unsharded single-core kernel as its own
+    baseline; for ``cores == 1`` the row records whether the sharded
+    makespan matched it bit-for-bit (an invariant pinned under every
+    topology preset).  Non-flat trials additionally re-arbitrate their own
+    shards under the flat pool: ``numa_penalty`` is the cycle ratio
+    topology/flat on identical per-core programs, isolating what the
+    deeper memory system costs (or, with more aggregate bandwidth, wins —
+    values below 1.0).  The per-level utilization columns aggregate each
+    level's port demand over the makespan; a level absent from the trial's
+    topology reports None.
     """
     from ..cpu.multicore import SharedMemoryParams, simulate_multicore
+    from ..cpu.params import get_topology
     from ..kernels.sharding import shard_kernel
 
     workload = params["workload"]
     cores = int(params["cores"])
     strategy = params["strategy"]
+    topology_name = params.get("topology", "flat")
     shape = GemmShape(m=workload["m"], n=workload["n"], k=workload["k"])
     pattern = SparsityPattern(workload["pattern"])
     machine = MachineParams.from_dict(workload["machine"])
     engine = resolve_engine(params["engine"])
     shared = SharedMemoryParams(**params["shared"])
+    topology = None if topology_name == "flat" else get_topology(topology_name)
 
-    sharded = shard_kernel(workload["kind"], shape, pattern, cores, strategy)
+    sharded = shard_kernel(
+        workload["kind"], shape, pattern, cores, strategy, topology=topology
+    )
     result = simulate_multicore(
         sharded.programs,
         machine=machine,
         engine=engine,
-        shared=shared,
+        shared=shared if topology is None else None,
+        topology=topology,
         block_cache=_scaling_block_store(),
     )
     single_cycles = _scaling_baseline_cycles(workload, params["engine"])
     speedup = result.speedup_over(single_cycles)
+    if topology is None:
+        numa_penalty = 1.0
+    else:
+        flat_result = simulate_multicore(
+            sharded.programs,
+            machine=machine,
+            engine=engine,
+            shared=shared,
+            block_cache=_scaling_block_store(),
+        )
+        numa_penalty = (
+            result.core_cycles / flat_result.core_cycles
+            if flat_result.core_cycles
+            else 1.0
+        )
 
     return {
         "workload": workload["name"],
@@ -775,12 +833,17 @@ def run_scaling_trial(params: Dict[str, Any]) -> Dict[str, Any]:
         "single_core_match": (
             result.core_cycles == single_cycles if cores == 1 else None
         ),
+        "topology": topology_name,
+        "numa_penalty": numa_penalty,
+        "l3_utilization": result.level_utilization.get("l3"),
+        "interconnect_utilization": result.level_utilization.get("interconnect"),
+        "dram_utilization": result.level_utilization.get("dram"),
     }
 
 
 @register_experiment(
     "scaling",
-    "Multi-core scaling: sharded tile grids under shared-L3/DRAM contention",
+    "Multi-core scaling: sharded tile grids under recursive-topology contention",
 )
 def build_scaling(options: Dict[str, Any]) -> ExperimentSpec:
     smoke = bool(options.get("smoke"))
@@ -791,6 +854,9 @@ def build_scaling(options: Dict[str, Any]) -> ExperimentSpec:
         ),
         strategies=options.get(
             "strategies", SCALING_SMOKE_STRATEGIES if smoke else SCALING_STRATEGIES
+        ),
+        topologies=options.get(
+            "topologies", SCALING_SMOKE_TOPOLOGIES if smoke else SCALING_TOPOLOGIES
         ),
         engine_name=options.get("engine", SCALING_ENGINE),
     )

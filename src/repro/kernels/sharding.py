@@ -23,9 +23,11 @@ memoization notes in ``repro.cpu.multicore``).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from ..cpu.topology import TopologyNode, place_cores
 from ..errors import KernelError
 from ..types import GemmShape, SparsityPattern
 from .gemm import build_dense_gemm_kernel, dense_block_grid
@@ -74,6 +76,11 @@ class ShardedKernel:
     programs: Tuple[KernelProgram, ...]
     blocks: Tuple[Tuple[Tuple[int, int], ...], ...]
     tiles: Tuple[Tuple[Tuple[int, int], ...], ...]
+    #: Per-core locality path when sharded against a topology (e.g.
+    #: ``"socket0/l3-00"``), empty otherwise.
+    locality: Tuple[str, ...] = ()
+    #: Per-core leaf-domain index matching ``locality``.
+    domains: Tuple[int, ...] = ()
 
     @property
     def cores(self) -> int:
@@ -85,6 +92,11 @@ class ShardedKernel:
         """Output tiles owned by each core (the static load balance)."""
         return tuple(len(core_tiles) for core_tiles in self.tiles)
 
+    @property
+    def domain_count(self) -> int:
+        """Distinct leaf locality domains the cores were placed on."""
+        return len(set(self.domains)) if self.domains else 1
+
 
 def shard_kernel(
     kind: str,
@@ -95,6 +107,7 @@ def shard_kernel(
     *,
     include_loop_overhead: bool = True,
     max_output_tiles: Optional[int] = None,
+    topology: Optional[TopologyNode] = None,
 ) -> ShardedKernel:
     """Shard one kernel's output-tile grid across ``cores`` simulated cores.
 
@@ -102,6 +115,17 @@ def shard_kernel(
     ``pattern`` is the A pattern for SPMM and the joint operand pattern for
     SPGEMM (ignored for the dense kernel).  With ``cores=1`` the single
     program is bit-identical to the unsharded builder output.
+
+    ``topology`` makes the partition hierarchy-aware: cores are placed on
+    the topology's leaf locality domains
+    (:func:`repro.cpu.topology.place_cores`, contiguous index bands), each
+    core's ``locality`` path and ``domains`` index are recorded on the
+    shard, and the 2D-cyclic process grid is aligned so whole process rows
+    pack inside one domain — a socket's shards then share their A-operand
+    footprint, which the per-domain shared-cache model rewards.  The band
+    strategies already keep each domain's shards adjacent, so their cell
+    assignment is unchanged; with ``topology=None`` every strategy is
+    bit-identical to the flat partition.
     """
     if kind not in SHARDABLE_KERNELS:
         raise KernelError(
@@ -110,7 +134,19 @@ def shard_kernel(
     grid_pattern = SparsityPattern.DENSE_4_4 if kind == "gemm" else pattern
     grid = TileGrid(shape=shape, pattern=grid_pattern)
     rows, cols = _block_grid_shape(kind, grid)
-    assignments = partition_grid(rows, cols, cores, strategy)
+    locality: Tuple[str, ...] = ()
+    domains: Tuple[int, ...] = ()
+    group_size: Optional[int] = None
+    if topology is not None:
+        placement = place_cores(topology, cores)
+        locality = placement.paths
+        domains = placement.leaf_index
+        common = math.gcd(*placement.domain_sizes())
+        # A one-core common domain size carries no alignment information —
+        # aligning to it would only perturb the process grid, so the flat
+        # factorization stands.
+        group_size = common if common > 1 else None
+    assignments = partition_grid(rows, cols, cores, strategy, group_size=group_size)
 
     programs: List[KernelProgram] = []
     tiles: List[Tuple[Tuple[int, int], ...]] = []
@@ -153,4 +189,6 @@ def shard_kernel(
         programs=tuple(programs),
         blocks=tuple(tuple(cells) for cells in assignments),
         tiles=tuple(tiles),
+        locality=locality,
+        domains=domains,
     )

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..errors import KernelError
 from ..types import (
@@ -235,12 +235,34 @@ def align_up(address: int, alignment: int = 4096) -> int:
 PARTITION_STRATEGIES = ("row-block", "column-block", "2d-cyclic")
 
 
-def _process_grid(cores: int) -> Tuple[int, int]:
-    """Near-square (rows, cols) factorisation of ``cores`` for 2D-cyclic."""
+def _process_grid(cores: int, group_size: Optional[int] = None) -> Tuple[int, int]:
+    """Near-square (rows, cols) factorisation of ``cores`` for 2D-cyclic.
+
+    ``group_size`` (the number of consecutive core indices sharing one
+    locality domain — a socket or an L3 slice) asks for a factorisation
+    whose process-grid *rows* (runs of ``cols`` consecutive cores) pack
+    wholly inside one domain: the nearest-square factor pair whose column
+    count divides the group.  The cores of one process row handle the same
+    block-grid rows, so domain-aligned rows make a domain's shards share
+    their A-operand footprint — which the per-domain cache model rewards.
+    Without a satisfiable group (or with ``group_size=None``) this is the
+    plain near-square factorisation.
+    """
     best = (1, cores)
     for rows in range(1, int(math.isqrt(cores)) + 1):
         if cores % rows == 0:
             best = (rows, cores // rows)
+    if group_size and group_size > 0:
+        aligned = None
+        for rows in range(1, cores + 1):
+            if cores % rows:
+                continue
+            cols = cores // rows
+            if cols <= group_size and group_size % cols == 0:
+                if aligned is None or abs(rows - cols) < abs(aligned[0] - aligned[1]):
+                    aligned = (rows, cols)
+        if aligned is not None:
+            return aligned
     return best
 
 
@@ -257,7 +279,12 @@ def _band_bounds(extent: int, parts: int) -> List[Tuple[int, int]]:
 
 
 def partition_grid(
-    rows: int, cols: int, cores: int, strategy: str = "row-block"
+    rows: int,
+    cols: int,
+    cores: int,
+    strategy: str = "row-block",
+    *,
+    group_size: Optional[int] = None,
 ) -> List[List[Tuple[int, int]]]:
     """Assign every cell of a ``rows x cols`` grid to exactly one core.
 
@@ -266,6 +293,11 @@ def partition_grid(
     partition reproduces the unsharded builder iteration exactly.  The
     partition is always exact: every cell appears in exactly one core's list
     (cores may receive an empty list when ``cores`` exceeds the grid).
+
+    ``group_size`` is the locality-domain hint forwarded to the 2D-cyclic
+    process-grid factorisation (see :func:`_process_grid`); the band
+    strategies are hierarchy-aware by construction — contiguous bands on
+    contiguous core indices already keep each domain's shards adjacent.
     """
     if rows <= 0 or cols <= 0:
         raise KernelError(f"invalid grid {rows}x{cols}")
@@ -288,7 +320,7 @@ def partition_grid(
                 (row, col) for row in range(rows) for col in range(start, end)
             ]
     else:  # 2d-cyclic
-        grid_rows, grid_cols = _process_grid(cores)
+        grid_rows, grid_cols = _process_grid(cores, group_size)
         for row in range(rows):
             for col in range(cols):
                 core = (row % grid_rows) * grid_cols + (col % grid_cols)

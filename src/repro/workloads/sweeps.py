@@ -33,8 +33,11 @@ SPGEMM_SWEEP_PATTERNS: Tuple[SparsityPattern, ...] = (
     SparsityPattern.SPARSE_1_4,
 )
 
-#: Core counts swept by the multi-core ``scaling`` experiment.
-SCALING_CORES: Tuple[int, ...] = (1, 2, 4, 8, 16)
+#: Core counts swept by the multi-core ``scaling`` experiment.  The tail of
+#: the sweep (32–128) exercises the rack-scale topology presets (a
+#: dual-socket or chiplet machine with 128 core slots); block-signature
+#: memoization is what keeps 128 simulated cores tractable.
+SCALING_CORES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
 #: Core counts of the ``scaling --smoke`` configuration (the CI sentinel:
 #: one single-core invariant point plus the contended 8-core point).

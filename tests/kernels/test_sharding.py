@@ -11,6 +11,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.runtime import resolve_engine
+from repro.cpu.params import dual_socket_machine, get_topology, topology_names
 from repro.cpu.simulator import CycleApproximateSimulator
 from repro.errors import KernelError
 from repro.kernels.sharding import shard_kernel
@@ -128,6 +129,103 @@ class TestShardCoverage:
         # Concatenating a partition's traces must reproduce the single-core
         # instruction mix (the op multiset, not the order across cores).
         assert sum(len(program.trace) for program in parts) == len(single.trace)
+
+
+class TestLocalitySharding:
+    """Hierarchy-aware sharding: locality columns and domain-aligned grids."""
+
+    SHAPE = GemmShape(m=256, n=256, k=256)
+
+    def test_flat_shard_has_no_locality_columns(self):
+        sharded = shard_kernel(
+            "gemm", self.SHAPE, SparsityPattern.DENSE_4_4, 8, "2d-cyclic"
+        )
+        assert sharded.locality == ()
+        assert sharded.domains == ()
+        assert sharded.domain_count == 1
+
+    def test_topology_shard_records_contiguous_domains(self):
+        sharded = shard_kernel(
+            "gemm",
+            self.SHAPE,
+            SparsityPattern.DENSE_4_4,
+            128,
+            "row-block",
+            topology=dual_socket_machine(),
+        )
+        assert len(sharded.locality) == 128
+        assert sharded.locality[0] == "socket0/l3-00"
+        assert sharded.locality[-1] == "socket1/l3-11"
+        assert list(sharded.domains) == sorted(sharded.domains)
+        assert sharded.domain_count == 4
+
+    @pytest.mark.parametrize("strategy", ("row-block", "column-block"))
+    def test_band_strategies_keep_the_flat_partition(self, strategy):
+        flat = shard_kernel("gemm", self.SHAPE, SparsityPattern.DENSE_4_4, 8, strategy)
+        topo = shard_kernel(
+            "gemm",
+            self.SHAPE,
+            SparsityPattern.DENSE_4_4,
+            8,
+            strategy,
+            topology=dual_socket_machine(),
+        )
+        assert topo.blocks == flat.blocks
+
+    def test_2d_cyclic_aligns_process_rows_to_the_domain(self):
+        # 128 cores over 4 slices of 32: the process-grid columns must
+        # divide the common domain size so whole process rows pack inside
+        # one slice (the shards of a slice then share A-operand rows).
+        sharded = shard_kernel(
+            "gemm",
+            self.SHAPE,
+            SparsityPattern.DENSE_4_4,
+            128,
+            "2d-cyclic",
+            topology=dual_socket_machine(),
+        )
+        grid = TileGrid(shape=self.SHAPE, pattern=SparsityPattern.DENSE_4_4)
+        from repro.kernels.sharding import _block_grid_shape
+
+        rows, cols = _block_grid_shape("gemm", grid)
+        assert sharded.blocks == tuple(
+            tuple(cells)
+            for cells in partition_grid(rows, cols, 128, "2d-cyclic", group_size=32)
+        )
+
+    def test_unalignable_domain_split_falls_back_to_flat(self):
+        # Two cores land one-per-slice (common domain size 1): there is no
+        # alignment to express, so the partition must stay bit-identical to
+        # the flat 2d-cyclic factorisation.
+        flat = shard_kernel(
+            "gemm", self.SHAPE, SparsityPattern.DENSE_4_4, 2, "2d-cyclic"
+        )
+        topo = shard_kernel(
+            "gemm",
+            self.SHAPE,
+            SparsityPattern.DENSE_4_4,
+            2,
+            "2d-cyclic",
+            topology=dual_socket_machine(),
+        )
+        assert topo.blocks == flat.blocks
+        assert topo.domain_count == 2
+
+    @pytest.mark.parametrize("preset", topology_names())
+    def test_every_preset_still_partitions_exactly_once(self, preset):
+        sharded = shard_kernel(
+            "spmm",
+            GemmShape(m=128, n=128, k=256),
+            SparsityPattern.SPARSE_2_4,
+            16,
+            "2d-cyclic",
+            topology=get_topology(preset),
+        )
+        grid = TileGrid(shape=GemmShape(m=128, n=128, k=256), pattern=SparsityPattern.SPARSE_2_4)
+        expected = {(i, j) for i in range(grid.tiles_m) for j in range(grid.tiles_n)}
+        owned = [tile for share in sharded.tiles for tile in share]
+        assert len(owned) == len(expected)
+        assert set(owned) == expected
 
 
 class TestFastMatchesExact:
