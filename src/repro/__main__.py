@@ -5,6 +5,7 @@ Subcommands::
     python -m repro list                       # registered experiments
     python -m repro run fig13 --jobs 4         # run a sweep (cached)
     python -m repro dump fig13 --format csv    # run + emit machine-readable
+    python -m repro plan                       # best mapping per workload
     python -m repro bench                      # simulator throughput benchmark
     python -m repro cache info                 # cache statistics
     python -m repro cache clear                # drop every cached result
@@ -91,23 +92,23 @@ def _build_parser() -> argparse.ArgumentParser:
             "--smoke",
             action="store_true",
             help="restrict the sweep to its smallest smoke configuration "
-            "(currently honored by the spgemm, scaling and backends "
-            "experiments)",
+            "(currently honored by the spgemm, scaling, backends and "
+            "autotune experiments)",
         )
         sub.add_argument(
             "--topology",
             action="append",
             default=None,
             metavar="NAME",
-            help="restrict the scaling sweep's topology axis to this preset "
-            "(repeatable; see 'topologies')",
+            help="restrict the sweep's topology axis to this preset "
+            "(repeatable; see 'topologies'; scaling/autotune only)",
         )
         sub.add_argument(
             "--cores",
             default=None,
             metavar="N[,N...]",
-            help="restrict the scaling sweep's core-count axis "
-            "(comma-separated list)",
+            help="restrict the sweep's core-count axis "
+            "(comma-separated list; scaling/autotune only)",
         )
         sub.add_argument(
             "--format",
@@ -118,6 +119,52 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--out", default=None, help="write the table to a file instead of stdout"
         )
+
+    plan = subparsers.add_parser(
+        "plan",
+        help="search the mapping space and print the best mapping per workload",
+    )
+    plan.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="plan only the named autotune workload (repeatable)",
+    )
+    plan.add_argument(
+        "--smoke",
+        action="store_true",
+        help="restrict the search to the smoke workload/axis configuration",
+    )
+    plan.add_argument(
+        "--topology",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict the topology axis to this preset (repeatable)",
+    )
+    plan.add_argument(
+        "--cores",
+        default=None,
+        metavar="N[,N...]",
+        help="restrict the core-count axis (comma-separated list)",
+    )
+    plan.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (<=0 = all cores; default: $REPRO_JOBS or 1)",
+    )
+    plan.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache entirely",
+    )
+    plan.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
 
     cache = subparsers.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("info", "clear"))
@@ -175,28 +222,81 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_cores(text: str) -> List[int]:
+    """Validate a ``--cores`` comma list: positive, unique, non-empty.
+
+    Bad values fail here with the offending entry named, instead of blowing
+    up deep inside ``partition_grid`` (or silently sweeping a duplicated
+    core count twice).
+    """
+    cores: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            value = int(part)
+        except ValueError:
+            raise ConfigurationError(
+                f"--cores expects a comma-separated integer list, "
+                f"got {part!r} in {text!r}"
+            ) from None
+        if value <= 0:
+            raise ConfigurationError(
+                f"--cores values must be positive core counts, got {value}"
+            )
+        if value in cores:
+            raise ConfigurationError(f"--cores values must be unique, got {value} twice")
+        cores.append(value)
+    if not cores:
+        raise ConfigurationError(
+            f"--cores expects at least one core count, got {text!r}"
+        )
+    return cores
+
+
 def _experiment_options(args: argparse.Namespace) -> Dict[str, Any]:
     options: Dict[str, Any] = {}
-    if args.max_layers is not None:
+    if getattr(args, "max_layers", None) is not None:
         options["max_layers"] = args.max_layers
-    if args.max_output_tiles is not None:
+    if getattr(args, "max_output_tiles", None) is not None:
         options["max_output_tiles"] = args.max_output_tiles
-    if args.seed is not None:
+    if getattr(args, "seed", None) is not None:
         options["seed"] = args.seed
     if getattr(args, "smoke", False):
         options["smoke"] = True
     if getattr(args, "topology", None):
         options["topologies"] = list(args.topology)
     if getattr(args, "cores", None):
-        try:
-            options["cores"] = [
-                int(part) for part in args.cores.split(",") if part.strip()
-            ]
-        except ValueError:
-            raise ConfigurationError(
-                f"--cores expects a comma-separated integer list, got {args.cores!r}"
-            )
+        options["cores"] = _parse_cores(args.cores)
     return options
+
+
+def _check_axis_options(experiment_name: str, options: Dict[str, Any]) -> None:
+    """Reject sweep-axis flags the experiment has no axis for.
+
+    ``--topology`` / ``--cores`` used to be forwarded to every experiment
+    unconditionally; experiments without those axes ignored them and ran the
+    full sweep the user did not ask for.
+    """
+    from .experiments.registry import get_experiment, list_experiments
+
+    experiment = get_experiment(experiment_name)
+    for option_key, flag, option in (
+        ("topology", "--topology", "topologies"),
+        ("cores", "--cores", "cores"),
+    ):
+        if option in options and option_key not in experiment.cli_options:
+            supported = ", ".join(
+                entry.name
+                for entry in list_experiments()
+                if option_key in entry.cli_options
+            )
+            axis = "topology" if option_key == "topology" else "core-count"
+            raise ConfigurationError(
+                f"{flag} is only valid for experiments with a {axis} axis "
+                f"({supported}), not {experiment_name!r}"
+            )
 
 
 def _render(table: ResultTable, output_format: str) -> str:
@@ -289,9 +389,11 @@ def _command_topologies() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    options = _experiment_options(args)
+    _check_axis_options(args.experiment, options)
     table = run_named(
         args.experiment,
-        _experiment_options(args),
+        options,
         jobs=args.jobs,
         cache=not args.no_cache,
         cache_root=args.cache_dir,
@@ -309,6 +411,65 @@ def _command_run(args: argparse.Namespace) -> int:
     print(
         f"{meta.get('experiment', args.experiment)}: {meta.get('trials', len(table))} trials "
         f"({meta.get('cached', 0)} cached, {meta.get('executed', 0)} executed) "
+        f"in {meta.get('seconds', 0.0):.2f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    """Run the autotune search and print the best mapping per workload."""
+    from .experiments.registry import get_experiment
+    from .experiments.runner import run_experiment
+
+    options = _experiment_options(args)
+    if args.workload:
+        options["workload_names"] = list(args.workload)
+    spec = get_experiment("autotune").build(options)
+    table = run_experiment(
+        spec, jobs=args.jobs, cache=not args.no_cache, cache_root=args.cache_dir
+    )
+    columns = (
+        "workload",
+        "pattern",
+        "engine",
+        "kernel",
+        "cores",
+        "strategy",
+        "topology",
+        "cycles",
+        "traffic MB",
+        "imbalance",
+        "frontier",
+        "prune",
+    )
+    rows = []
+    for row in table.rows:
+        rows.append(
+            (
+                row["workload"],
+                row["pattern"],
+                row["best_engine"],
+                row["best_kernel"],
+                row["best_cores"],
+                row["best_strategy"],
+                row["best_topology"],
+                row["best_cycles"],
+                f"{row['best_traffic_bytes'] / 1e6:.1f}"
+                if row["best_traffic_bytes"] is not None
+                else None,
+                f"{row['best_load_imbalance']:.2f}"
+                if row["best_load_imbalance"] is not None
+                else None,
+                row["frontier_size"],
+                f"{row['prune_ratio']:.1f}x ({row['simulated']}/{row['space_size']})",
+            )
+        )
+    print(format_table("best mapping per workload", columns, rows))
+    meta = table.meta
+    print(
+        f"autotune: {meta.get('trials', len(table))} workloads "
+        f"({meta.get('cached', 0)} cached, {meta.get('executed', 0)} searched) "
         f"in {meta.get('seconds', 0.0):.2f}s",
         file=sys.stderr,
     )
@@ -468,6 +629,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_topologies()
         if args.command in ("run", "dump"):
             return _command_run(args)
+        if args.command == "plan":
+            return _command_plan(args)
         if args.command == "bench":
             return _command_bench(args)
         if args.command == "cache":

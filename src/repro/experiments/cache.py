@@ -150,3 +150,37 @@ def resolve_cache(
     if cache in (False, None):
         return NullCache()
     return cache
+
+
+class SimulationBlockStore:
+    """Signature-keyed persistent store for per-core simulation payloads.
+
+    Adapts the content-addressed experiments cache to the duck-typed
+    ``get(key)`` / ``put(key, payload)`` interface
+    :func:`repro.cpu.multicore.simulate_multicore` expects.  Keys are the
+    full simulation keys of :func:`repro.cpu.multicore.simulation_cache_key`
+    — content-derived and process-independent — so per-core results recur
+    for free across trials, sweeps, worker processes and runs.  The
+    ``scaling`` and ``autotune`` experiments share this one namespace:
+    either sweep warms the store for the other.
+    """
+
+    _NAMESPACE = "simblocks"
+
+    def __init__(self, cache: Union[NullCache, ResultCache]) -> None:
+        self._cache = cache
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._cache.get(self._NAMESPACE, key)
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        self._cache.put(self._NAMESPACE, key, payload)
+
+
+def simulation_block_store() -> Optional[SimulationBlockStore]:
+    """The persistent block store, or None when memoization is disabled."""
+    from ..cpu.multicore import memoization_enabled
+
+    if not memoization_enabled():
+        return None
+    return SimulationBlockStore(ResultCache())

@@ -686,39 +686,17 @@ def scaling_spec(
 _SCALING_BASELINES: Dict[str, int] = {}
 
 
-class _SimulationBlockStore:
-    """Signature-keyed persistent store for per-core simulation payloads.
-
-    Adapts the content-addressed experiments cache to the duck-typed
-    ``get(key)`` / ``put(key, payload)`` interface
-    :func:`repro.cpu.multicore.simulate_multicore` expects.  Keys are the
-    full simulation keys of :func:`repro.cpu.multicore.simulation_cache_key`
-    — content-derived and process-independent — so per-core results recur
-    for free across trials, sweeps, worker processes and runs (e.g. the
-    ``cores=8`` and ``cores=16`` row-block trials of one workload share
-    their one-block-row core class).
-    """
-
-    _NAMESPACE = "simblocks"
-
-    def __init__(self, cache) -> None:
-        self._cache = cache
-
-    def get(self, key: str):
-        return self._cache.get(self._NAMESPACE, key)
-
-    def put(self, key: str, payload) -> None:
-        self._cache.put(self._NAMESPACE, key, payload)
-
-
 def _scaling_block_store():
-    """The persistent block store, or None when memoization is disabled."""
-    from ..cpu.multicore import memoization_enabled
-    from .cache import ResultCache
+    """The persistent block store, or None when memoization is disabled.
 
-    if not memoization_enabled():
-        return None
-    return _SimulationBlockStore(ResultCache())
+    Shared with the ``autotune`` experiment (one ``simblocks`` namespace):
+    e.g. the ``cores=8`` and ``cores=16`` row-block trials of one workload
+    share their one-block-row core class, and either sweep warms the store
+    for the other.
+    """
+    from .cache import simulation_block_store
+
+    return simulation_block_store()
 
 
 def _scaling_baseline_cycles(workload: Dict[str, Any], engine_name: str) -> int:
@@ -844,6 +822,7 @@ def run_scaling_trial(params: Dict[str, Any]) -> Dict[str, Any]:
 @register_experiment(
     "scaling",
     "Multi-core scaling: sharded tile grids under recursive-topology contention",
+    cli_options=("topology", "cores"),
 )
 def build_scaling(options: Dict[str, Any]) -> ExperimentSpec:
     smoke = bool(options.get("smoke"))

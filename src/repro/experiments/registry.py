@@ -17,7 +17,7 @@ one-directional (``figures`` imports the analysis layer, never the reverse).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from .spec import ExperimentSpec
@@ -34,6 +34,7 @@ def _ensure_builtins() -> None:
     if not _BUILTINS_LOADED:
         _BUILTINS_LOADED = True
         from . import figures  # noqa: F401 — registers the built-in experiments
+        from ..planner import experiment  # noqa: F401 — registers ``autotune``
 
 
 def trial_runner(name: str) -> Callable[[TrialRunner], TrialRunner]:
@@ -68,6 +69,10 @@ class Experiment:
     #: Optional post-processing of the raw trial table (e.g. the headline
     #: speed-up summary); receives the table and the options dict.
     reduce: Optional[Callable[..., Any]] = None
+    #: Sweep-axis CLI flags this experiment honors (``"topology"``,
+    #: ``"cores"``); the CLI rejects those flags for experiments that do not
+    #: declare them instead of silently running an unrestricted sweep.
+    cli_options: Tuple[str, ...] = ()
 
 
 def register_experiment(
@@ -75,12 +80,17 @@ def register_experiment(
     description: str,
     *,
     reduce: Optional[Callable[..., Any]] = None,
+    cli_options: Tuple[str, ...] = (),
 ) -> Callable[[Callable[[Dict[str, Any]], ExperimentSpec]], Callable[[Dict[str, Any]], ExperimentSpec]]:
     """Register a spec factory as a named experiment."""
 
     def decorator(build: Callable[[Dict[str, Any]], ExperimentSpec]):
         _EXPERIMENTS[name] = Experiment(
-            name=name, description=description, build=build, reduce=reduce
+            name=name,
+            description=description,
+            build=build,
+            reduce=reduce,
+            cli_options=cli_options,
         )
         return build
 

@@ -29,7 +29,7 @@ from typing import List, Optional, Tuple
 
 from ..cpu.topology import TopologyNode, place_cores
 from ..errors import KernelError
-from ..types import GemmShape, SparsityPattern
+from ..types import DEFAULT_GEOMETRY, GemmShape, SparsityPattern, TileGeometry
 from .gemm import build_dense_gemm_kernel, dense_block_grid
 from .program import KernelProgram
 from .spgemm import build_spgemm_kernel
@@ -108,6 +108,7 @@ def shard_kernel(
     include_loop_overhead: bool = True,
     max_output_tiles: Optional[int] = None,
     topology: Optional[TopologyNode] = None,
+    geometry: TileGeometry = DEFAULT_GEOMETRY,
 ) -> ShardedKernel:
     """Shard one kernel's output-tile grid across ``cores`` simulated cores.
 
@@ -126,13 +127,24 @@ def shard_kernel(
     strategies already keep each domain's shards adjacent, so their cell
     assignment is unchanged; with ``topology=None`` every strategy is
     bit-identical to the flat partition.
+
+    ``geometry`` shards the dense kernel for a foreign tile geometry (the
+    AMX-like / SME-like backends): the block grid, per-core builds and the
+    resulting traces all use that geometry's tile sizes.  The sparse
+    builders are VEGETA-only, so a non-default geometry on ``spmm`` /
+    ``spgemm`` is an error rather than a silently mis-partitioned grid.
     """
     if kind not in SHARDABLE_KERNELS:
         raise KernelError(
             f"unknown kernel kind {kind!r}; expected one of {SHARDABLE_KERNELS}"
         )
+    if kind != "gemm" and geometry != DEFAULT_GEOMETRY:
+        raise KernelError(
+            f"the {kind} kernel builder is VEGETA-only; "
+            f"geometry {geometry.name!r} can only shard the dense kernel"
+        )
     grid_pattern = SparsityPattern.DENSE_4_4 if kind == "gemm" else pattern
-    grid = TileGrid(shape=shape, pattern=grid_pattern)
+    grid = TileGrid(shape=shape, pattern=grid_pattern, geometry=geometry)
     rows, cols = _block_grid_shape(kind, grid)
     locality: Tuple[str, ...] = ()
     domains: Tuple[int, ...] = ()
@@ -157,6 +169,7 @@ def shard_kernel(
                 include_loop_overhead=include_loop_overhead,
                 max_output_tiles=max_output_tiles,
                 blocks=cells,
+                geometry=geometry,
             )
         elif kind == "spmm":
             program = build_spmm_kernel(

@@ -247,23 +247,33 @@ def _process_grid(cores: int, group_size: Optional[int] = None) -> Tuple[int, in
     their A-operand footprint — which the per-domain cache model rewards.
     Without a satisfiable group (or with ``group_size=None``) this is the
     plain near-square factorisation.
+
+    Squareness ties — ``(2, 4)`` vs ``(4, 2)`` for 8 cores — resolve to the
+    factorisation with **more columns** (fewer rows).  A process-grid row is
+    a run of ``cols`` consecutive core indices sharing the same block-grid
+    rows, and consecutive indices are what contiguous-band core placement
+    packs into one locality domain: wider rows keep more of a domain's
+    cores on shared A-operand rows, which the per-domain cache model
+    rewards.  The tie-break is explicit (not iteration-order luck) so
+    planner results stay stable across refactors.
     """
-    best = (1, cores)
-    for rows in range(1, int(math.isqrt(cores)) + 1):
-        if cores % rows == 0:
-            best = (rows, cores // rows)
+
+    def squareness(pair: Tuple[int, int]) -> Tuple[int, int]:
+        grid_rows, grid_cols = pair
+        return (abs(grid_rows - grid_cols), grid_rows)
+
+    factorizations = [
+        (rows, cores // rows) for rows in range(1, cores + 1) if cores % rows == 0
+    ]
     if group_size and group_size > 0:
-        aligned = None
-        for rows in range(1, cores + 1):
-            if cores % rows:
-                continue
-            cols = cores // rows
-            if cols <= group_size and group_size % cols == 0:
-                if aligned is None or abs(rows - cols) < abs(aligned[0] - aligned[1]):
-                    aligned = (rows, cols)
-        if aligned is not None:
-            return aligned
-    return best
+        aligned = [
+            (rows, cols)
+            for rows, cols in factorizations
+            if cols <= group_size and group_size % cols == 0
+        ]
+        if aligned:
+            return min(aligned, key=squareness)
+    return min(factorizations, key=squareness)
 
 
 def _band_bounds(extent: int, parts: int) -> List[Tuple[int, int]]:

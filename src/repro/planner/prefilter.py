@@ -1,0 +1,179 @@
+"""Analytic pre-filter statics for mapping candidates.
+
+Everything here is computed *without* running the cycle simulator, from the
+sharded per-core traces and the machine/engine parameters:
+
+* **Exact objectives** — shared-memory traffic (the sum of every core's
+  trace ``memory_bytes``) and static load imbalance (max/mean output tiles
+  per core) are properties of the partition, not of the timing model, so
+  the pre-filter knows two of the three Pareto objectives exactly.
+* **A sound cycle lower bound** — no mapping can finish faster than its
+  most-loaded core can initiate its tile *compute* instructions
+  (``computes x issue-interval``, converted to core cycles by the
+  engine clock ratio), nor — on machines without ideal L2 prefetch —
+  faster than the topology root can stream the combined distinct operand
+  footprint.  Both bounds hold for every arbitration outcome, which is
+  what makes dominance pruning against them sound (see
+  :mod:`repro.planner.autotune`); the property tests pin
+  ``bound_cycles <= simulated cycles`` across the catalog.
+* **Search-ordering heuristics** — cache-fit flags (per-core footprint vs
+  private L2, combined footprint vs the topology's shared capacity) and a
+  roofline throughput estimate reusing :mod:`repro.analysis.roofline`.
+  These order the search so strong incumbents are simulated early; they
+  never discard a candidate on their own.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.roofline import EngineRoofline, effective_throughput_tflops
+from ..core.engine import EngineConfig
+from ..cpu.multicore import _footprint_line_array
+from ..cpu.params import MachineParams, get_topology
+from ..cpu.topology import TopologyNode
+from ..cpu.trace import summarize_trace
+from ..kernels.sharding import ShardedKernel
+from ..types import SparsityPattern
+
+
+@dataclass(frozen=True)
+class MappingStatics:
+    """Simulation-free statics of one sharded mapping."""
+
+    #: Tile instructions (loads + computes + stores) across all cores.
+    tile_instructions: int
+    #: Tile *compute* instructions of the most-loaded core — only computes
+    #: occupy the matrix-engine pipeline (loads/stores overlap through the
+    #: memory system), so only they floor the makespan.
+    max_core_compute_instructions: int
+    #: Exact shared-memory traffic: sum of per-core trace memory bytes.
+    traffic_bytes: int
+    #: Exact static load imbalance: max/mean output tiles per active core.
+    load_imbalance: float
+    #: Largest per-core distinct operand footprint in bytes.
+    max_core_footprint_bytes: int
+    #: Distinct operand footprint of all cores combined, in bytes.
+    combined_footprint_bytes: int
+    #: Does every core's footprint fit its private L2?
+    fits_private_l2: bool
+    #: Does the combined footprint fit the topology's shared caches?
+    fits_shared_capacity: bool
+    #: Issue-rate makespan floor in core cycles (sound lower bound).
+    compute_bound_cycles: int
+    #: Bandwidth makespan floor in core cycles (0 under ideal prefetch).
+    memory_bound_cycles: int
+    #: Roofline throughput estimate (ordering heuristic, effectual TFLOPS).
+    roofline_tflops: float
+
+    @property
+    def bound_cycles(self) -> int:
+        """The sound cycle lower bound the dominance pruning tests against."""
+        return max(self.compute_bound_cycles, self.memory_bound_cycles)
+
+
+def _shared_capacity_bytes(topology: TopologyNode) -> int:
+    """Total capacity of the topology's shared cache nodes."""
+    return sum(
+        node.capacity_bytes
+        for _, node in topology.walk()
+        if node.capacity_bytes is not None
+    )
+
+
+def mapping_statics(
+    sharded: ShardedKernel,
+    machine: MachineParams,
+    engine: EngineConfig,
+    topology: Optional[TopologyNode] = None,
+) -> MappingStatics:
+    """Compute the pre-filter statics for one sharded mapping.
+
+    ``topology=None`` means the flat shared pool (the ``"flat"`` preset's
+    parameters are used for root bandwidth and shared capacity).
+    """
+    resolved_topology = topology if topology is not None else get_topology("flat")
+    line_bytes = machine.l1.line_bytes
+
+    summaries = [summarize_trace(program.trace) for program in sharded.programs]
+    traffic_bytes = sum(summary.memory_bytes for summary in summaries)
+    tile_instructions = sum(summary.tile_total for summary in summaries)
+    max_core_compute_instructions = max(
+        (summary.tile_compute for summary in summaries), default=0
+    )
+
+    tiles = sharded.tiles_per_core
+    total_tiles = sum(tiles)
+    mean_tiles = total_tiles / len(tiles) if tiles else 0.0
+    load_imbalance = max(tiles) / mean_tiles if mean_tiles else 1.0
+
+    footprints = [
+        _footprint_line_array(program.trace, line_bytes)
+        for program in sharded.programs
+    ]
+    max_core_lines = max((len(lines) for lines in footprints), default=0)
+    combined_lines = len(np.unique(np.concatenate(footprints))) if footprints else 0
+    max_core_footprint_bytes = max_core_lines * line_bytes
+    combined_footprint_bytes = combined_lines * line_bytes
+
+    # The engine pipeline initiates compute instructions no faster than one
+    # per issue interval (the max stage occupancy; loads and stores overlap
+    # through the memory system and never enter the pipeline), and the
+    # engine clock runs slower than the core clock, so the most-loaded
+    # core's compute count floors the makespan regardless of memory
+    # behaviour.
+    issue_cycles = max(engine.issue_interval, engine.busy_cycles_per_instruction)
+    compute_bound_cycles = (
+        max_core_compute_instructions * issue_cycles * machine.core.engine_clock_ratio
+    )
+
+    # Every distinct line of the combined footprint is a compulsory miss
+    # somewhere, and compulsory misses pay the full path to the topology
+    # root (shared caches only absorb capacity misses), so the root's line
+    # rate floors the makespan — but only when the machine cannot hide
+    # private DRAM latency behind ideal L2 prefetch.
+    if machine.prefetch_into_l2:
+        memory_bound_cycles = 0
+    else:
+        root_lines_per_cycle = resolved_topology.lines_per_cycle(machine)
+        memory_bound_cycles = (
+            int(math.ceil(combined_lines / root_lines_per_cycle))
+            if root_lines_per_cycle > 0 and math.isfinite(root_lines_per_cycle)
+            else 0
+        )
+
+    executed = sharded.pattern
+    sparse_aware = engine.sparse and executed is not SparsityPattern.DENSE_4_4
+    density = 1.0 / executed.compression_ratio if sparse_aware else 1.0
+    roofline = EngineRoofline(
+        name=engine.name,
+        # One MAC is two FLOPs; the engine array runs at the matrix clock.
+        peak_gflops=engine.total_macs * 2 * machine.core.matrix_engine_frequency_ghz,
+        sparse_aware=sparse_aware,
+    )
+    roofline_tflops = effective_throughput_tflops(
+        roofline,
+        density,
+        shape=sharded.shape,
+        bandwidth_gbps=machine.memory.dram_bandwidth_gbps,
+    )
+
+    return MappingStatics(
+        tile_instructions=tile_instructions,
+        max_core_compute_instructions=max_core_compute_instructions,
+        traffic_bytes=traffic_bytes,
+        load_imbalance=load_imbalance,
+        max_core_footprint_bytes=max_core_footprint_bytes,
+        combined_footprint_bytes=combined_footprint_bytes,
+        fits_private_l2=max_core_footprint_bytes <= machine.l2.capacity_bytes,
+        fits_shared_capacity=(
+            combined_footprint_bytes <= _shared_capacity_bytes(resolved_topology)
+        ),
+        compute_bound_cycles=compute_bound_cycles,
+        memory_bound_cycles=memory_bound_cycles,
+        roofline_tflops=roofline_tflops,
+    )

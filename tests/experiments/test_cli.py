@@ -155,6 +155,135 @@ def test_engines_lists_catalog_with_geometry_columns(capsys):
     assert "4096" in out  # the SME tile register image
 
 
+class TestCoresValidation:
+    """--cores comma lists are validated up front, naming the bad value."""
+
+    def test_non_integer_rejected(self, capsys, cache_dir):
+        argv = ["run", "scaling", "--cores", "1,two", "--cache-dir", cache_dir]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "comma-separated integer list" in err
+        assert "'two'" in err
+
+    def test_zero_rejected(self, capsys, cache_dir):
+        argv = ["run", "scaling", "--cores", "0,2", "--cache-dir", cache_dir]
+        assert main(argv) == 2
+        assert "must be positive core counts, got 0" in capsys.readouterr().err
+
+    def test_negative_rejected(self, capsys, cache_dir):
+        argv = ["run", "scaling", "--cores", "4,-8", "--cache-dir", cache_dir]
+        assert main(argv) == 2
+        assert "must be positive core counts, got -8" in capsys.readouterr().err
+
+    def test_duplicate_rejected(self, capsys, cache_dir):
+        argv = ["run", "scaling", "--cores", "2,4,2", "--cache-dir", cache_dir]
+        assert main(argv) == 2
+        assert "must be unique, got 2 twice" in capsys.readouterr().err
+
+    def test_empty_list_rejected(self, capsys, cache_dir):
+        argv = ["run", "scaling", "--cores", ",", "--cache-dir", cache_dir]
+        assert main(argv) == 2
+        assert "at least one core count" in capsys.readouterr().err
+
+
+class TestAxisOptionGating:
+    """--topology/--cores are rejected for experiments without those axes."""
+
+    def test_topology_rejected_for_experiment_without_axis(self, capsys, cache_dir):
+        argv = ["run", "fig13", "--topology", "flat", "--cache-dir", cache_dir]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "--topology is only valid for experiments with a topology axis" in err
+        assert "not 'fig13'" in err
+
+    def test_cores_rejected_for_experiment_without_axis(self, capsys, cache_dir):
+        argv = ["run", "area-power", "--cores", "2,4", "--cache-dir", cache_dir]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "--cores is only valid for experiments with a core-count axis" in err
+
+    def test_error_names_the_experiments_that_do_support_the_flag(
+        self, capsys, cache_dir
+    ):
+        argv = ["run", "fig13", "--cores", "2", "--cache-dir", cache_dir]
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "autotune" in err and "scaling" in err
+
+    def test_scaling_still_accepts_both_flags(self, capsys, cache_dir):
+        argv = [
+            "run", "scaling",
+            "--smoke",
+            "--topology", "flat",
+            "--cores", "1,2",
+            "--cache-dir", cache_dir,
+            "--format", "csv",
+        ]
+        assert main(argv) == 0
+
+
+def test_run_autotune_smoke_restricted(capsys, cache_dir):
+    argv = [
+        "run", "autotune",
+        "--smoke",
+        "--cores", "1,2",
+        "--topology", "flat",
+        "--cache-dir", cache_dir,
+        "--format", "csv",
+    ]
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    lines = captured.out.strip().splitlines()
+    header = lines[0].split(",")
+    for column in ("bound_cycles", "on_frontier", "best", "prune_ratio"):
+        assert column in header
+    rows = [dict(zip(header, line.split(","))) for line in lines[1:]]
+    # One exploded row per candidate: 11 engines x {1,2} cores x 3
+    # strategies x flat, minus the collapsed equivalents.
+    assert len(rows) == 44
+    assert all(row["workload"] == "sparse-2:4" for row in rows)
+    # Exactly one best mapping, and it sits on the frontier of the
+    # simulated candidates.
+    best = [row for row in rows if row["best"] == "True"]
+    assert len(best) == 1
+    assert best[0]["on_frontier"] == "True"
+    assert best[0]["simulated"] == "True"
+    # Pruning still pays for itself on the restricted space.
+    assert float(rows[0]["prune_ratio"]) >= 5.0
+    # Sound bounds: no simulated row undercuts its analytic floor.
+    for row in rows:
+        if row["simulated"] == "True":
+            assert int(row["bound_cycles"]) <= int(row["cycles"])
+
+    # Second invocation is served entirely from the cache.
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    assert "1 cached, 0 executed" in captured.err
+
+
+def test_plan_prints_best_mapping_per_workload(capsys, cache_dir):
+    argv = [
+        "plan",
+        "--workload", "sparse-2:4",
+        "--cores", "1,2",
+        "--topology", "flat",
+        "--cache-dir", cache_dir,
+    ]
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    out = captured.out
+    assert "best mapping per workload" in out
+    assert "sparse-2:4" in out
+    assert "prune" in out
+    assert "1 workloads" in captured.err
+
+
+def test_plan_rejects_unknown_workload(capsys, cache_dir):
+    argv = ["plan", "--workload", "no-such-workload", "--cache-dir", cache_dir]
+    assert main(argv) == 2
+    assert "unknown autotune workload" in capsys.readouterr().err
+
+
 def test_run_backends_smoke_produces_four_engine_table(capsys, cache_dir):
     argv = [
         "run", "backends",

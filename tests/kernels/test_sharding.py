@@ -228,6 +228,56 @@ class TestLocalitySharding:
         assert set(owned) == expected
 
 
+class TestShardGeometry:
+    """Sharding with a foreign tile geometry (the planner's AMX/SME path)."""
+
+    SHAPE = GemmShape(m=128, n=128, k=256)
+
+    def test_default_geometry_argument_matches_the_default(self):
+        from repro.types import DEFAULT_GEOMETRY
+
+        explicit = shard_kernel(
+            "gemm", self.SHAPE, SparsityPattern.DENSE_4_4, 4, "row-block",
+            geometry=DEFAULT_GEOMETRY,
+        )
+        implicit = shard_kernel(
+            "gemm", self.SHAPE, SparsityPattern.DENSE_4_4, 4, "row-block"
+        )
+        assert explicit.blocks == implicit.blocks
+        assert [len(p.trace) for p in explicit.programs] == [
+            len(p.trace) for p in implicit.programs
+        ]
+
+    def test_foreign_geometry_shard_covers_its_own_grid(self):
+        geometry = resolve_engine("SME-like").geometry
+        sharded = shard_kernel(
+            "gemm", self.SHAPE, SparsityPattern.DENSE_4_4, 4, "2d-cyclic",
+            geometry=geometry,
+        )
+        grid = TileGrid(
+            shape=self.SHAPE, pattern=SparsityPattern.DENSE_4_4, geometry=geometry
+        )
+        expected = {(i, j) for i in range(grid.tiles_m) for j in range(grid.tiles_n)}
+        owned = [tile for share in sharded.tiles for tile in share]
+        assert len(owned) == len(expected)
+        assert set(owned) == expected
+        stored = [
+            tile for program in sharded.programs for tile in stored_tiles(program)
+        ]
+        assert set(stored) == expected
+
+    def test_sparse_kinds_reject_foreign_geometry(self):
+        geometry = resolve_engine("SME-like").geometry
+        for kind, pattern in (
+            ("spmm", SparsityPattern.SPARSE_2_4),
+            ("spgemm", SparsityPattern.SPARSE_2_4),
+        ):
+            with pytest.raises(KernelError):
+                shard_kernel(
+                    kind, self.SHAPE, pattern, 2, "row-block", geometry=geometry
+                )
+
+
 class TestFastMatchesExact:
     @given(
         kind_pattern=KINDS,

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.errors import KernelError
-from repro.kernels.tiling import MatrixTileLayout, TileGrid, align_up, tile_k_for_pattern
+from repro.kernels.tiling import (
+    MatrixTileLayout,
+    TileGrid,
+    _process_grid,
+    align_up,
+    tile_k_for_pattern,
+)
 from repro.types import GemmShape, SparsityPattern
 
 
@@ -64,6 +70,44 @@ class TestMatrixTileLayout:
     def test_invalid_layout_rejected(self):
         with pytest.raises(KernelError):
             MatrixTileLayout(base_address=-1, tiles_rows=1, tiles_cols=1, tile_bytes=64)
+
+
+class TestProcessGrid:
+    """Regression pins for the explicit squareness tie-break.
+
+    Perfect squares and unambiguous factorisations aside, a squareness tie
+    — ``(2, 4)`` vs ``(4, 2)`` — must resolve to the wider grid (more
+    columns): process-grid rows are runs of consecutive core indices, which
+    contiguous-band placement packs into one locality domain.  The pin keeps
+    planner results stable against refactors of the factor enumeration.
+    """
+
+    def test_perfect_square(self):
+        assert _process_grid(16) == (4, 4)
+
+    def test_tie_prefers_more_columns(self):
+        assert _process_grid(2) == (1, 2)
+        assert _process_grid(8) == (2, 4)
+        assert _process_grid(32) == (4, 8)
+
+    def test_group_alignment_keeps_the_tie_break(self):
+        # Both (2, 4) and (4, 2) have columns dividing the group; the wider
+        # grid must still win.
+        assert _process_grid(8, 4) == (2, 4)
+        assert _process_grid(32, 8) == (4, 8)
+
+    def test_group_alignment_can_override_squareness(self):
+        # (4, 8) is nearest-square but 8 does not divide a group of 4; the
+        # best aligned pair is (8, 4).
+        assert _process_grid(32, 4) == (8, 4)
+
+    def test_awkward_group_degrades_to_single_column(self):
+        # No multi-column factor of 8 divides a group of 3, but a single
+        # column always aligns, so the grid degrades to one shard per row.
+        assert _process_grid(8, 3) == (8, 1)
+
+    def test_no_group_matches_the_plain_factorisation(self):
+        assert _process_grid(8, None) == _process_grid(8)
 
 
 class TestAlignUp:

@@ -1,0 +1,181 @@
+"""Tests for mapping-space enumeration and equivalence collapsing."""
+
+import pytest
+
+from repro.analysis.runtime import resolve_engine
+from repro.errors import ConfigurationError
+from repro.planner.space import (
+    MappingCandidate,
+    canonical_engine_name,
+    enumerate_mappings,
+    select_kernel,
+)
+from repro.types import SparsityPattern
+
+
+def resolve(*names):
+    return {name: resolve_engine(name) for name in names}
+
+
+class TestSelectKernel:
+    def test_spgemm_unit_selects_spgemm_on_sparse(self):
+        engine = resolve_engine("VEGETA-S-16-2+OF+SPGEMM")
+        assert select_kernel(engine, SparsityPattern.SPARSE_2_4) == (
+            "spgemm",
+            SparsityPattern.SPARSE_2_4,
+        )
+        assert select_kernel(engine, SparsityPattern.SPARSE_1_4) == (
+            "spgemm",
+            SparsityPattern.SPARSE_1_4,
+        )
+
+    def test_sparse_engine_without_unit_selects_spmm(self):
+        engine = resolve_engine("VEGETA-S-4-2")
+        assert select_kernel(engine, SparsityPattern.SPARSE_2_4) == (
+            "spmm",
+            SparsityPattern.SPARSE_2_4,
+        )
+
+    def test_dense_backends_fall_back_to_gemm(self):
+        for name in ("AMX-like", "SME-like", "VEGETA-D-1-2"):
+            engine = resolve_engine(name)
+            assert select_kernel(engine, SparsityPattern.SPARSE_2_4) == (
+                "gemm",
+                SparsityPattern.DENSE_4_4,
+            )
+
+    def test_everything_runs_gemm_on_dense(self):
+        for name in ("VEGETA-S-16-2+OF+SPGEMM", "VEGETA-S-4-2", "SME-like"):
+            engine = resolve_engine(name)
+            assert select_kernel(engine, SparsityPattern.DENSE_4_4) == (
+                "gemm",
+                SparsityPattern.DENSE_4_4,
+            )
+
+
+class TestCanonicalEngineName:
+    def test_suffix_stripped_when_kernel_cannot_use_it(self):
+        assert (
+            canonical_engine_name("VEGETA-S-16-2+OF+SPGEMM", "gemm")
+            == "VEGETA-S-16-2+OF"
+        )
+        assert (
+            canonical_engine_name("VEGETA-S-16-2+OF+SPGEMM", "spmm")
+            == "VEGETA-S-16-2+OF"
+        )
+
+    def test_suffix_kept_for_spgemm_kernel(self):
+        assert (
+            canonical_engine_name("VEGETA-S-16-2+OF+SPGEMM", "spgemm")
+            == "VEGETA-S-16-2+OF+SPGEMM"
+        )
+
+    def test_plain_names_untouched(self):
+        assert canonical_engine_name("SME-like", "gemm") == "SME-like"
+
+
+class TestEnumerateMappings:
+    def test_space_size_is_the_full_cross_product(self):
+        space = enumerate_mappings(
+            SparsityPattern.SPARSE_2_4,
+            resolve("VEGETA-S-4-2", "SME-like"),
+            cores=(1, 2),
+            strategies=("row-block", "2d-cyclic"),
+            topologies=("flat", "dual-socket"),
+        )
+        assert space.space_size == 2 * 2 * 2 * 2
+        assert len(space.candidates) + space.collapsed == space.space_size
+
+    def test_single_core_collapses_strategy_and_topology(self):
+        space = enumerate_mappings(
+            SparsityPattern.SPARSE_2_4,
+            resolve("VEGETA-S-4-2"),
+            cores=(1,),
+            strategies=("row-block", "column-block", "2d-cyclic"),
+            topologies=("flat", "dual-socket"),
+        )
+        assert len(space.candidates) == 1
+        assert space.collapsed == 5
+        (candidate,) = space.candidates
+        assert candidate.strategy == "row-block"
+        assert candidate.topology == "flat"
+
+    def test_inert_spgemm_unit_collapses_into_stripped_twin(self):
+        # On a dense workload both engines run the same dense GEMM kernel and
+        # the stream-merge unit never enters the timing model, so the pair
+        # collapses to the suffix-stripped name.
+        space = enumerate_mappings(
+            SparsityPattern.DENSE_4_4,
+            resolve("VEGETA-S-16-2+OF", "VEGETA-S-16-2+OF+SPGEMM"),
+            cores=(2,),
+            strategies=("row-block",),
+            topologies=("flat",),
+        )
+        assert len(space.candidates) == 1
+        assert space.collapsed == 1
+        assert space.candidates[0].engine == "VEGETA-S-16-2+OF"
+
+    def test_spgemm_unit_not_collapsed_when_kernel_uses_it(self):
+        space = enumerate_mappings(
+            SparsityPattern.SPARSE_2_4,
+            resolve("VEGETA-S-16-2+OF", "VEGETA-S-16-2+OF+SPGEMM"),
+            cores=(2,),
+            strategies=("row-block",),
+            topologies=("flat",),
+        )
+        engines = {candidate.engine for candidate in space.candidates}
+        assert engines == {"VEGETA-S-16-2+OF", "VEGETA-S-16-2+OF+SPGEMM"}
+        kernels = {candidate.kernel for candidate in space.candidates}
+        assert kernels == {"spmm", "spgemm"}
+
+    def test_candidates_are_unique(self):
+        space = enumerate_mappings(
+            SparsityPattern.SPARSE_2_4,
+            resolve("VEGETA-S-4-2", "SME-like", "AMX-like"),
+            cores=(1, 2, 4),
+            strategies=("row-block", "column-block", "2d-cyclic"),
+            topologies=("flat", "dual-socket"),
+        )
+        assert len(set(space.candidates)) == len(space.candidates)
+
+    def test_row_wise_rejected(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_mappings(
+                SparsityPattern.ROW_WISE,
+                resolve("VEGETA-S-4-2"),
+                cores=(1,),
+                strategies=("row-block",),
+                topologies=("flat",),
+            )
+
+    @pytest.mark.parametrize("axis", ("engines", "cores", "strategies", "topologies"))
+    def test_empty_axes_rejected(self, axis):
+        kwargs = {
+            "engines": resolve("VEGETA-S-4-2"),
+            "cores": (1,),
+            "strategies": ("row-block",),
+            "topologies": ("flat",),
+        }
+        kwargs[axis] = {} if axis == "engines" else ()
+        with pytest.raises(ConfigurationError, match=axis):
+            enumerate_mappings(SparsityPattern.SPARSE_2_4, **kwargs)
+
+
+class TestMappingCandidate:
+    def test_as_dict_round_trips_the_fields(self):
+        candidate = MappingCandidate(
+            engine="SME-like",
+            kernel="gemm",
+            executed="4:4",
+            cores=4,
+            strategy="2d-cyclic",
+            topology="dual-socket",
+        )
+        assert candidate.as_dict() == {
+            "engine": "SME-like",
+            "kernel": "gemm",
+            "executed": "4:4",
+            "cores": 4,
+            "strategy": "2d-cyclic",
+            "topology": "dual-socket",
+        }
