@@ -7,16 +7,20 @@ Subcommands::
     python -m repro dump fig13 --format csv    # run + emit machine-readable
     python -m repro plan                       # best mapping per workload
     python -m repro bench                      # simulator throughput benchmark
-    python -m repro cache info                 # cache statistics
+    python -m repro chaos scaling --smoke      # fault-injected resilience check
+    python -m repro cache info                 # cache statistics + integrity
     python -m repro cache clear                # drop every cached result
 
 ``run``/``dump`` accept ``--jobs`` (or the ``REPRO_JOBS`` environment
 variable) for the multiprocessing backend, ``--no-cache`` /
-``--cache-dir`` (or ``REPRO_CACHE_DIR``) for the result cache, and
+``--cache-dir`` (or ``REPRO_CACHE_DIR``) for the result cache,
 ``--max-layers`` / ``--max-output-tiles`` / ``--seed`` to scale the sweep
-down.  ``bench`` measures the trace-op throughput of the simulator's exact
-and fast paths and writes ``BENCH_simulator.json`` so the performance
-trajectory is tracked per commit.  See EXPERIMENTS.md for the full tour.
+down, and the resilience knobs ``--max-retries`` / ``--trial-timeout`` /
+``--resume`` (see EXPERIMENTS.md's "Resilience" section).  ``bench``
+measures the trace-op throughput of the simulator's exact and fast paths
+and writes ``BENCH_simulator.json`` so the performance trajectory is
+tracked per commit.  ``chaos`` proves a sweep survives a seeded fault
+schedule byte-identically.  See EXPERIMENTS.md for the full tour.
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ import argparse
 import sys
 from typing import Any, Dict, List, Optional
 
-from .errors import ConfigurationError, ReproError
+from .errors import ConfigurationError, ExperimentFailure, ReproError
 from .experiments.cache import ResultCache
 from .experiments.registry import list_experiments
 from .experiments.results import ResultTable, format_table
@@ -94,6 +98,28 @@ def _build_parser() -> argparse.ArgumentParser:
             help="restrict the sweep to its smallest smoke configuration "
             "(currently honored by the spgemm, scaling, backends and "
             "autotune experiments)",
+        )
+        sub.add_argument(
+            "--max-retries",
+            type=int,
+            default=None,
+            help="retries per trial after a transient failure "
+            "(default: $REPRO_MAX_RETRIES or 0)",
+        )
+        sub.add_argument(
+            "--trial-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall-clock deadline per trial attempt; hung trials are "
+            "killed and retried (default: $REPRO_TRIAL_TIMEOUT or none)",
+        )
+        sub.add_argument(
+            "--resume",
+            action="store_true",
+            help="resume an interrupted sweep from its checkpoints: rows "
+            "persisted before the crash are served from the cache and only "
+            "the missing trials re-run (requires the cache)",
         )
         sub.add_argument(
             "--topology",
@@ -172,6 +198,62 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run an experiment clean, faulted, and interrupted+resumed in "
+        "hermetic cache roots and verify the tables are byte-identical",
+    )
+    chaos.add_argument("experiment", help="experiment name (see 'list')")
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fault-schedule seed (default 0); identical seeds give "
+        "identical chaos runs",
+    )
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the experiment's smoke configuration",
+    )
+    chaos.add_argument(
+        "--max-layers",
+        type=int,
+        default=None,
+        help="restrict the sweep to the first N Table IV layers",
+    )
+    chaos.add_argument(
+        "--max-output-tiles",
+        type=int,
+        default=None,
+        help="output tiles traced per simulation before scaling",
+    )
+    chaos.add_argument(
+        "--spec",
+        default=None,
+        metavar="FAULTSPEC",
+        help="override the derived fault schedule (REPRO_FAULTS grammar)",
+    )
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the clean/faulted legs (default 2)",
+    )
+    chaos.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retry budget for the faulted leg (default 2)",
+    )
+    chaos.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline per trial attempt in every leg",
     )
 
     bench = subparsers.add_parser(
@@ -397,6 +479,9 @@ def _command_run(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=not args.no_cache,
         cache_root=args.cache_dir,
+        max_retries=args.max_retries,
+        trial_timeout=args.trial_timeout,
+        resume=args.resume,
     )
     rendered = _render(table, args.format)
     if args.out:
@@ -408,9 +493,14 @@ def _command_run(args: argparse.Namespace) -> int:
     else:
         print(rendered)
     meta = table.meta
+    extras = ""
+    if meta.get("retried"):
+        extras += f", {meta['retried']} retried"
+    if meta.get("checkpoint_errors"):
+        extras += f", {meta['checkpoint_errors']} checkpoint writes failed"
     print(
         f"{meta.get('experiment', args.experiment)}: {meta.get('trials', len(table))} trials "
-        f"({meta.get('cached', 0)} cached, {meta.get('executed', 0)} executed) "
+        f"({meta.get('cached', 0)} cached, {meta.get('executed', 0)} executed{extras}) "
         f"in {meta.get('seconds', 0.0):.2f}s",
         file=sys.stderr,
     )
@@ -615,7 +705,74 @@ def _command_cache(args: argparse.Namespace) -> int:
     print(f"total bytes: {stats['bytes']}")
     for experiment, count in sorted(stats["experiments"].items()):
         print(f"  {experiment}: {count}")
+    integrity = cache.verify()
+    print(
+        f"integrity:   {integrity['verified']} verified, "
+        f"{integrity['quarantined']} quarantined now, "
+        f"{integrity['quarantine_files']} in quarantine"
+    )
+    for namespace, counts in sorted(integrity["namespaces"].items()):
+        label = "simulation block store" if namespace == "simblocks" else "results"
+        print(
+            f"  {namespace} ({label}): {counts['verified']} verified, "
+            f"{counts['quarantined']} quarantined"
+        )
     return 0
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    from .experiments.results import format_table as _format_table
+    from .faults.chaos import DEFAULT_JOBS, DEFAULT_MAX_RETRIES, run_chaos
+
+    options = {}
+    if args.smoke:
+        options["smoke"] = True
+    if args.max_layers is not None:
+        options["max_layers"] = args.max_layers
+    if args.max_output_tiles is not None:
+        options["max_output_tiles"] = args.max_output_tiles
+    report = run_chaos(
+        args.experiment,
+        options,
+        seed=args.seed,
+        jobs=args.jobs if args.jobs is not None else DEFAULT_JOBS,
+        max_retries=(
+            args.max_retries if args.max_retries is not None else DEFAULT_MAX_RETRIES
+        ),
+        trial_timeout=args.trial_timeout,
+        fault_spec=args.spec,
+    )
+    print(f"fault spec:     {report['fault_spec']}")
+    print(f"interrupt spec: {report['interrupt_spec']}")
+    rows = [
+        (
+            leg["leg"],
+            leg.get("rows", ""),
+            "yes" if leg.get("identical") else "NO",
+            leg.get("cached", ""),
+            leg.get("retried", ""),
+            leg.get("checkpointed", ""),
+        )
+        for leg in report["legs"]
+    ]
+    print(
+        _format_table(
+            f"chaos: {report['experiment']} ({report['trials']} trials, "
+            f"seed {report['seed']})",
+            ("leg", "rows", "identical", "cached", "retried", "checkpointed"),
+            rows,
+        )
+    )
+    for failure in report["failures"]:
+        print(f"chaos failure: {failure}", file=sys.stderr)
+    if report["ok"]:
+        print(
+            "chaos: every leg reassembled the clean table byte-for-byte",
+            file=sys.stderr,
+        )
+        return 0
+    print("chaos: FAULTED TABLES DIVERGED (see report above)", file=sys.stderr)
+    return 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -635,6 +792,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_bench(args)
         if args.command == "cache":
             return _command_cache(args)
+        if args.command == "chaos":
+            return _command_chaos(args)
+    except ExperimentFailure as error:
+        # Permanent trial failures: the report names each offender, and the
+        # completed rows are already checkpointed for a --resume.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -63,7 +63,10 @@ from .trace import (
 #: persisted block-result cache entry at once).
 #: v3: tile-op transfer sizes follow the trace's tile geometry (the flexible
 #: ISA refactor) instead of the fixed default-geometry opcode constants.
-SIMULATION_KEY_SCHEMA = "3"
+#: v4: the persistent store's entries became checksummed envelopes
+#: (crash-consistency layer in ``repro.experiments.cache``); new keys let
+#: pre-envelope entries age out unread instead of flooding the quarantine.
+SIMULATION_KEY_SCHEMA = "4"
 
 #: The columnar trace record.  ``opcode`` is -1 for non-tile ops; ``dst`` /
 #: ``src_a`` / ``src_b`` hold encoded register references (-1 for none);

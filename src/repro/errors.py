@@ -45,5 +45,33 @@ class KernelError(ReproError):
     """A kernel generator was asked to produce an impossible tiling."""
 
 
+class TrialTimeout(ReproError):
+    """A trial exceeded its wall-clock deadline (``--trial-timeout``)."""
+
+
+class InjectedFault(ReproError):
+    """A deliberate failure raised by the fault-injection harness.
+
+    Only :mod:`repro.faults` raises this, and only when ``REPRO_FAULTS``
+    activates a ``trial-error`` rule; seeing it outside a chaos run means a
+    fault spec leaked into the environment.
+    """
+
+
+class ExperimentFailure(ReproError):
+    """One or more trials of a sweep failed permanently after retries.
+
+    The message names every offending trial (index, parameters, error);
+    ``failures`` carries the structured
+    :class:`repro.experiments.executor.TrialFailure` records.  Completed
+    rows were already checkpointed to the result cache when this is raised,
+    so a re-run (``--resume``) only re-executes the failed trials.
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
 class WorkloadError(ReproError):
     """A workload definition is invalid (non-positive dims, unknown name)."""

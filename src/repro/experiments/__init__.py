@@ -24,13 +24,26 @@ Quickstart::
     print(table.to_text("Figure 13"))
 """
 
-from .cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR, NullCache, ResultCache, default_cache_root
+from .cache import (
+    CACHE_DIR_ENV,
+    DEFAULT_CACHE_DIR,
+    NullCache,
+    ResultCache,
+    SimulationBlockStore,
+    atomic_write_json,
+    default_cache_root,
+)
 from .executor import (
     JOBS_ENV,
+    MAX_RETRIES_ENV,
+    TRIAL_TIMEOUT_ENV,
     MultiprocessExecutor,
+    RetryPolicy,
     SerialExecutor,
+    TrialFailure,
     make_executor,
     resolve_jobs,
+    resolve_retry_policy,
 )
 from .registry import (
     Experiment,
@@ -51,12 +64,18 @@ __all__ = [
     "Experiment",
     "ExperimentSpec",
     "JOBS_ENV",
+    "MAX_RETRIES_ENV",
     "MultiprocessExecutor",
     "NullCache",
     "ResultCache",
     "ResultTable",
+    "RetryPolicy",
     "SerialExecutor",
+    "SimulationBlockStore",
+    "TRIAL_TIMEOUT_ENV",
     "Trial",
+    "TrialFailure",
+    "atomic_write_json",
     "canonical_json",
     "default_cache_root",
     "format_table",
@@ -68,6 +87,7 @@ __all__ = [
     "print_table",
     "register_experiment",
     "resolve_jobs",
+    "resolve_retry_policy",
     "run_experiment",
     "run_named",
     "trial_runner",

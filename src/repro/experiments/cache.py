@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result cache.
+"""Content-addressed on-disk result cache with crash-consistent entries.
 
 Every trial result is stored as one small JSON file whose name is the SHA-256
 of (cache schema version, experiment name, spec version, trial parameters) —
@@ -8,6 +8,17 @@ invalidation: changing a parameter, a spec version, or the schema version
 simply addresses different entries, and stale entries are garbage that
 ``repro cache clear`` removes.
 
+Crash consistency: every write goes through one atomic
+write-temp-then-rename path (:func:`atomic_write_json`), and every entry is
+an envelope ``{"sha256": <hex>, "row": {...}}`` whose checksum covers the
+canonical JSON of the row.  Reads verify the checksum; an entry that fails
+to parse or verify — truncated by a crash, bit-flipped by the disk, or
+corrupted by the fault-injection harness — is *quarantined* (moved under
+``<root>/_quarantine/`` with a ``.bad`` suffix) and reported as a miss, so
+one poisoned file costs one recomputation instead of a crash or a
+permanently wedged key.  ``repro cache info`` reports verified vs
+quarantined counts per namespace.
+
 The cache root defaults to ``.repro-cache`` under the current working
 directory and can be redirected with the ``REPRO_CACHE_DIR`` environment
 variable (or per-call with ``cache_root`` / ``--cache-dir``).
@@ -15,12 +26,16 @@ variable (or per-call with ``cache_root`` / ``--cache-dir``).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import os
 import shutil
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
+
+from ..faults import hooks as fault_hooks
+from .spec import canonical_json
 
 #: Per-process monotonic counter making concurrent temp files unique: two
 #: threads of one process share a PID, so a PID-only suffix lets their
@@ -33,10 +48,41 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Directory (under the cache root) receiving quarantined corrupt entries.
+QUARANTINE_DIR = "_quarantine"
+
 
 def default_cache_root() -> Path:
     """The cache root honoring the ``REPRO_CACHE_DIR`` override."""
     return Path(os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR)
+
+
+def row_checksum(row: Dict[str, Any]) -> str:
+    """SHA-256 of the row's canonical JSON — the entry integrity checksum."""
+    return hashlib.sha256(canonical_json(row).encode("utf-8")).hexdigest()
+
+
+def atomic_write_json(path: Path, payload: Any) -> None:
+    """The single atomic publish path: write a temp file, then rename.
+
+    The temp name combines the PID with a per-call counter so concurrent
+    writers of the same path — other processes *and* other threads of this
+    process — never share a temp file; ``os.replace`` is the one atomic
+    publish step, so readers observe either the old entry or the complete
+    new one, never a torn write.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_suffix(f".{os.getpid()}.{next(_TEMP_COUNTER)}.tmp")
+    try:
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(temp, path)
+    except BaseException:
+        try:
+            temp.unlink()
+        except OSError:
+            pass
+        raise
 
 
 class NullCache:
@@ -62,57 +108,78 @@ class ResultCache:
         """Entry path; sharded by key prefix to keep directories small."""
         return self.root / experiment / key[:2] / f"{key}.json"
 
+    def _read_verified(self, path: Path) -> Optional[Dict[str, Any]]:
+        """Parse and checksum-verify one entry; None on any corruption.
+
+        Valid entries are ``{"sha256": ..., "row": {...}}`` envelopes whose
+        checksum matches the row's canonical JSON.  Anything else — invalid
+        JSON, a non-envelope object (e.g. a pre-envelope legacy entry), or a
+        checksum mismatch — is corrupt.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except ValueError:
+            return None
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("row"), dict)
+            or entry.get("sha256") != row_checksum(entry["row"])
+        ):
+            return None
+        return entry["row"]
+
     def get(self, experiment: str, key: str) -> Optional[Dict[str, Any]]:
         """The cached row for a key, or None on miss or corruption.
 
-        A corrupt or truncated entry (invalid JSON, or JSON that is not an
-        object) is unlinked best-effort before reporting the miss: left on
-        disk it would be re-read and re-parsed on every future run without
-        ever being overwritten, because :meth:`put` only runs after a miss
-        whose result the next ``get`` would again fail to read.
+        A corrupt entry (truncated write, bit rot, checksum mismatch) is
+        quarantined before reporting the miss: left in place it would be
+        re-read and re-missed on every future run without ever being
+        overwritten, because :meth:`put` only runs after a miss whose result
+        the next ``get`` would again fail to read.  Quarantining (instead of
+        unlinking) preserves the evidence for post-mortems; ``repro cache
+        clear`` drops the quarantine with the rest of the root.
         """
         path = self.path_for(experiment, key)
         try:
-            with open(path, "r", encoding="utf-8") as handle:
-                row = json.load(handle)
+            row = self._read_verified(path)
         except OSError:
             return None
-        except ValueError:
-            self._discard(path)
-            return None
-        if not isinstance(row, dict):
-            self._discard(path)
+        if row is None:
+            self._quarantine(path)
             return None
         return row
 
-    @staticmethod
-    def _discard(path: Path) -> None:
-        """Best-effort removal of a poisoned cache entry.
+    def _quarantine(self, path: Path) -> None:
+        """Best-effort move of a poisoned entry into the quarantine dir.
 
         Racy by design: a concurrent process may have already replaced the
-        corrupt file with a fresh valid row, in which case this unlink drops
-        that row and the trial is simply recomputed on the next run — wasted
-        work, never corruption, and cheaper than cross-process locking.
+        corrupt file with a fresh valid entry, in which case this move drops
+        that entry and the trial is simply recomputed on the next run —
+        wasted work, never corruption, and cheaper than cross-process
+        locking.  The destination name gets a PID + counter suffix so
+        repeated corruption of one key never collides.
         """
+        target = (
+            self.root
+            / QUARANTINE_DIR
+            / f"{path.stem}.{os.getpid()}.{next(_TEMP_COUNTER)}.bad"
+        )
         try:
-            path.unlink()
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
         except OSError:
-            pass
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def put(self, experiment: str, key: str, row: Dict[str, Any]) -> None:
-        """Atomically persist one row (write-to-temp + rename).
-
-        The temp name combines the PID with a per-call counter so concurrent
-        writers of the same key — other processes *and* other threads of this
-        process — never share a temp file; the final ``os.replace`` stays the
-        single atomic publish step.
-        """
+        """Atomically persist one row inside a checksummed envelope."""
+        fault_hooks.on_store_write(experiment, key)
         path = self.path_for(experiment, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        temp = path.with_suffix(f".{os.getpid()}.{next(_TEMP_COUNTER)}.tmp")
-        with open(temp, "w", encoding="utf-8") as handle:
-            json.dump(row, handle)
-        os.replace(temp, path)
+        atomic_write_json(path, {"sha256": row_checksum(row), "row": row})
+        fault_hooks.on_store_written(path, experiment, key)
 
     def clear(self) -> int:
         """Remove every entry; returns the number of entries removed."""
@@ -139,6 +206,46 @@ class ResultCache:
             "experiments": experiments,
         }
 
+    def verify(self) -> Dict[str, Any]:
+        """Checksum-verify every entry, quarantining the corrupt ones.
+
+        Returns overall and per-namespace ``verified`` / ``quarantined``
+        counts plus the total number of files sitting in the quarantine
+        directory (including ones from earlier runs).
+        """
+        verified = 0
+        quarantined = 0
+        namespaces: Dict[str, Dict[str, int]] = {}
+        if self.root.exists():
+            for path in sorted(self.root.rglob("*.json")):
+                experiment = path.relative_to(self.root).parts[0]
+                counts = namespaces.setdefault(
+                    experiment, {"verified": 0, "quarantined": 0}
+                )
+                try:
+                    row = self._read_verified(path)
+                except OSError:
+                    row = None
+                if row is None:
+                    self._quarantine(path)
+                    quarantined += 1
+                    counts["quarantined"] += 1
+                else:
+                    verified += 1
+                    counts["verified"] += 1
+        quarantine_root = self.root / QUARANTINE_DIR
+        quarantine_files = (
+            sum(1 for _ in quarantine_root.rglob("*.bad"))
+            if quarantine_root.exists()
+            else 0
+        )
+        return {
+            "verified": verified,
+            "quarantined": quarantined,
+            "namespaces": namespaces,
+            "quarantine_files": quarantine_files,
+        }
+
 
 def resolve_cache(
     cache: Union[bool, None, NullCache, ResultCache] = True,
@@ -163,6 +270,12 @@ class SimulationBlockStore:
     for free across trials, sweeps, worker processes and runs.  The
     ``scaling`` and ``autotune`` experiments share this one namespace:
     either sweep warms the store for the other.
+
+    The store is a pure performance cache, so both directions degrade
+    rather than fail: reads heal corrupt/truncated entries (quarantine +
+    miss, through :meth:`ResultCache.get`) and writes swallow ``OSError``
+    (full disk, read-only root, injected write faults) — a lost entry costs
+    one re-simulation, never a wrong result or a dead sweep.
     """
 
     _NAMESPACE = "simblocks"
@@ -174,7 +287,10 @@ class SimulationBlockStore:
         return self._cache.get(self._NAMESPACE, key)
 
     def put(self, key: str, payload: Dict[str, Any]) -> None:
-        self._cache.put(self._NAMESPACE, key, payload)
+        try:
+            self._cache.put(self._NAMESPACE, key, payload)
+        except OSError:
+            pass
 
 
 def simulation_block_store() -> Optional[SimulationBlockStore]:

@@ -30,7 +30,11 @@ from ..errors import ConfigurationError
 #: schema v1 is stale.  ``max_output_tiles`` (and every other trial
 #: parameter) is part of each key, so truncated and untruncated runs of the
 #: same sweep address different entries.
-CACHE_SCHEMA_VERSION = "2"
+#: v3: entries became checksummed ``{"sha256", "row"}`` envelopes (the
+#: crash-consistency layer); bumping the schema means pre-envelope entries
+#: are simply never addressed, instead of each being read once, failing
+#: verification, and landing in the quarantine.
+CACHE_SCHEMA_VERSION = "3"
 
 
 def canonical_json(value: Any) -> str:

@@ -1,0 +1,44 @@
+"""Deterministic fault-injection harness for the experiments subsystem.
+
+``REPRO_FAULTS=<spec>`` activates seeded injectors at hook points in the
+executor (trial exceptions, hung trials, worker kills, interrupts) and the
+result cache (corrupted entries, failed writes); see
+:mod:`repro.faults.plan` for the spec grammar.  The ``repro chaos`` CLI
+subcommand (:mod:`repro.faults.chaos`) drives a clean run, a faulted run and
+an interrupted-then-resumed run of one experiment and verifies the tables
+are byte-identical — the executable statement of the resilience contract:
+under any injected fault schedule the final table is bit-identical to a
+clean run, or the failure is loudly reported.
+
+This package deliberately imports nothing from :mod:`repro.experiments` at
+module level (the cache and executor import the hooks); the chaos harness
+lives in :mod:`repro.faults.chaos` and is imported lazily by the CLI.
+"""
+
+from ..errors import InjectedFault
+from .hooks import on_store_write, on_store_written, on_trial_attempt
+from .plan import (
+    FAULTS_ENV,
+    KNOWN_KINDS,
+    STORE_KINDS,
+    TRIAL_KINDS,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "KNOWN_KINDS",
+    "STORE_KINDS",
+    "TRIAL_KINDS",
+    "active_plan",
+    "on_store_write",
+    "on_store_written",
+    "on_trial_attempt",
+    "parse_fault_spec",
+]

@@ -1,0 +1,179 @@
+"""Deterministic fault plans parsed from ``REPRO_FAULTS``.
+
+A fault plan is a seeded, declarative schedule of failures to inject into
+the experiment execution stack — trial exceptions, hung trials, worker
+kills, interrupted sweeps, corrupted or failed store writes.  The plan is
+*stateless*: every decision is a pure function of ``(seed, kind, token,
+attempt)``, so worker processes (which inherit the spec through the
+environment) and re-dispatched chunks reach identical verdicts without any
+shared state.  That purity is what lets the chaos harness promise
+byte-identical tables: a transient fault fires on attempt 0 and provably
+does not fire on the retry.
+
+Spec grammar (entries joined by ``;``)::
+
+    REPRO_FAULTS="seed=7;trial-error:trials=1/4;worker-kill:trials=2;corrupt-entry:p=0.5"
+
+    entry  := "seed=N" | kind [":" field ("," field)*]
+    kind   := trial-error | trial-hang | interrupt | worker-kill
+              | corrupt-entry | write-fail
+    field  := trials=i/j/k   explicit trial indices (trial-site kinds)
+            | p=0.25         per-token probability (hash of seed|kind|token)
+            | attempt=N      retry/dispatch attempt the rule fires on (default 0)
+            | seconds=S      sleep length for trial-hang (default 0.5)
+
+Trial-site kinds (``trial-error``/``trial-hang``/``interrupt``/
+``worker-kill``) token on the trial index; store kinds (``corrupt-entry``/
+``write-fail``) token on ``"experiment/key"`` and ignore ``trials=``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+
+#: Environment variable holding the active fault spec (empty = no faults).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: Kinds that decide per trial index at a trial execution site.
+TRIAL_KINDS = ("trial-error", "trial-hang", "interrupt", "worker-kill")
+
+#: Kinds that decide per store entry at a cache write site.
+STORE_KINDS = ("corrupt-entry", "write-fail")
+
+KNOWN_KINDS = TRIAL_KINDS + STORE_KINDS
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: what fires, for which tokens, on which attempt."""
+
+    kind: str
+    trials: Optional[Tuple[int, ...]] = None
+    p: Optional[float] = None
+    attempt: int = 0
+    seconds: float = 0.5
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed ``REPRO_FAULTS`` schedule: a seed plus a rule list."""
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = ()
+
+    def fires(
+        self, kind: str, token: Union[int, str], attempt: int = 0
+    ) -> Optional[FaultRule]:
+        """The first rule of ``kind`` that fires for this token/attempt."""
+        for rule in self.rules:
+            if rule.kind != kind or rule.attempt != attempt:
+                continue
+            if rule.trials is not None:
+                if isinstance(token, int) and token in rule.trials:
+                    return rule
+            elif rule.p is not None and self._unit(kind, token) < rule.p:
+                return rule
+        return None
+
+    def _unit(self, kind: str, token: Union[int, str]) -> float:
+        """Deterministic uniform [0, 1) draw for one (kind, token) pair."""
+        digest = hashlib.sha256(f"{self.seed}|{kind}|{token}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def _parse_fields(kind: str, parts: list, entry: str) -> FaultRule:
+    trials: Optional[Tuple[int, ...]] = None
+    p: Optional[float] = None
+    attempt = 0
+    seconds = 0.5
+    for field in parts:
+        if "=" not in field:
+            raise ConfigurationError(
+                f"{FAULTS_ENV}: expected key=value in {entry!r}, got {field!r}"
+            )
+        key, _, value = field.partition("=")
+        try:
+            if key == "trials":
+                trials = tuple(
+                    sorted({int(item) for item in value.split("/") if item})
+                )
+                if not trials:
+                    raise ValueError("empty trial list")
+            elif key == "p":
+                p = float(value)
+                if not 0.0 <= p <= 1.0:
+                    raise ValueError("probability outside [0, 1]")
+            elif key == "attempt":
+                attempt = int(value)
+                if attempt < 0:
+                    raise ValueError("negative attempt")
+            elif key == "seconds":
+                seconds = float(value)
+                if seconds < 0:
+                    raise ValueError("negative sleep")
+            else:
+                raise ConfigurationError(
+                    f"{FAULTS_ENV}: unknown field {key!r} in {entry!r} "
+                    f"(known: trials, p, attempt, seconds)"
+                )
+        except ValueError as error:
+            raise ConfigurationError(
+                f"{FAULTS_ENV}: bad value {value!r} for {key!r} in {entry!r} "
+                f"({error})"
+            ) from None
+    if trials is None and p is None:
+        raise ConfigurationError(
+            f"{FAULTS_ENV}: rule {entry!r} needs either trials= or p="
+        )
+    return FaultRule(kind=kind, trials=trials, p=p, attempt=attempt, seconds=seconds)
+
+
+def parse_fault_spec(text: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`."""
+    seed = 0
+    rules = []
+    for entry in text.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        if entry.startswith("seed="):
+            try:
+                seed = int(entry[len("seed="):])
+            except ValueError:
+                raise ConfigurationError(
+                    f"{FAULTS_ENV}: seed must be an integer, got {entry!r}"
+                ) from None
+            continue
+        kind, _, remainder = entry.partition(":")
+        kind = kind.strip()
+        if kind not in KNOWN_KINDS:
+            raise ConfigurationError(
+                f"{FAULTS_ENV}: unknown fault kind {kind!r} in {entry!r}; "
+                f"known: {', '.join(KNOWN_KINDS)}"
+            )
+        parts = [part.strip() for part in remainder.split(",") if part.strip()]
+        rules.append(_parse_fields(kind, parts, entry))
+    return FaultPlan(seed=seed, rules=tuple(rules))
+
+
+#: Parsed-plan memo keyed by the raw spec string; the spec is read from the
+#: environment on every decision (so tests and the chaos harness can flip it
+#: per leg) but parsed only once per distinct value.
+_PLAN_CACHE: Dict[str, FaultPlan] = {}
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan from ``REPRO_FAULTS``, or None when no faults are active."""
+    text = os.environ.get(FAULTS_ENV, "").strip()
+    if not text:
+        return None
+    plan = _PLAN_CACHE.get(text)
+    if plan is None:
+        plan = parse_fault_spec(text)
+        _PLAN_CACHE[text] = plan
+    return plan

@@ -284,6 +284,71 @@ def test_plan_rejects_unknown_workload(capsys, cache_dir):
     assert "unknown autotune workload" in capsys.readouterr().err
 
 
+class TestResilienceCli:
+    """--max-retries / --trial-timeout / --resume and the failure exit code."""
+
+    def test_permanent_failure_exits_1_naming_the_trial(
+        self, monkeypatch, capsys, cache_dir
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "trial-error:trials=0")
+        assert main(["run", "area-power", "--cache-dir", cache_dir]) == 1
+        err = capsys.readouterr().err
+        assert "trial 0" in err
+        assert "failed permanently" in err
+        assert "--resume" in err
+
+    def test_max_retries_recovers_from_transient_fault(
+        self, monkeypatch, capsys, cache_dir
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "trial-error:trials=0")
+        argv = ["run", "area-power", "--max-retries", "1", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "1 retried" in captured.err
+        assert "8 trials" in captured.err
+
+    def test_resume_completes_after_a_failed_run(
+        self, monkeypatch, capsys, cache_dir
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "trial-error:trials=0")
+        assert main(["run", "area-power", "--cache-dir", cache_dir]) == 1
+        monkeypatch.delenv("REPRO_FAULTS")
+        capsys.readouterr()
+        argv = ["run", "area-power", "--resume", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        # The 7 rows checkpointed by the failed run are served back; only
+        # the offender re-runs.
+        assert "7 cached, 1 executed" in capsys.readouterr().err
+
+    def test_resume_without_cache_is_rejected(self, capsys, cache_dir):
+        argv = ["run", "area-power", "--resume", "--no-cache"]
+        assert main(argv) == 2
+        assert "--resume" in capsys.readouterr().err
+
+
+def test_cache_info_reports_store_integrity(capsys, cache_dir):
+    main(["run", "area-power", "--cache-dir", cache_dir])
+    capsys.readouterr()
+    assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "integrity:   8 verified, 0 quarantined now, 0 in quarantine" in out
+    assert "area-power (results): 8 verified, 0 quarantined" in out
+
+    # Corrupt one entry: info quarantines it and says so.
+    from pathlib import Path
+
+    victim = sorted(Path(cache_dir).rglob("*.json"))[0]
+    victim.write_text("torn write")
+    assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "integrity:   7 verified, 1 quarantined now, 1 in quarantine" in out
+
+    # The next pass finds a clean store with the evidence in quarantine.
+    assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "integrity:   7 verified, 0 quarantined now, 1 in quarantine" in out
+
+
 def test_run_backends_smoke_produces_four_engine_table(capsys, cache_dir):
     argv = [
         "run", "backends",

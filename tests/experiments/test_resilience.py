@@ -1,0 +1,259 @@
+"""Resilience tests: retries, deadlines, fault isolation, checkpoints, resume.
+
+These pin the contract stated in ``repro.experiments.runner``: a raising
+trial never poisons its chunk, completed rows are checkpointed as they
+finish, permanent failures name every offender, and an interrupted sweep
+resumes to a byte-identical table.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ExperimentFailure
+from repro.experiments.cache import ResultCache
+from repro.experiments.executor import (
+    MAX_RETRIES_ENV,
+    TRIAL_TIMEOUT_ENV,
+    RetryPolicy,
+    resolve_retry_policy,
+)
+from repro.experiments.registry import trial_runner
+from repro.experiments.runner import run_experiment
+from repro.experiments.spec import ExperimentSpec
+from repro.faults import FAULTS_ENV
+
+#: Trial index the ``test-fragile`` runner raises on (unset = never); an
+#: environment variable so forked worker processes inherit the behavior
+#: without it leaking into the trial params (and thus the cache keys).
+BOOM_ENV = "REPRO_TEST_BOOM"
+
+
+@trial_runner("test-fragile")
+def _fragile(params):
+    boom = os.environ.get(BOOM_ENV, "")
+    if boom and params["x"] == int(boom):
+        raise ValueError(f"deterministic failure at x={params['x']}")
+    return {"x": params["x"], "cube": params["x"] ** 3}
+
+
+@trial_runner("test-sleepy")
+def _sleepy(params):
+    time.sleep(params["sleep"])
+    return {"sleep": params["sleep"], "done": True}
+
+
+def fragile_spec(count=8):
+    return ExperimentSpec(
+        name="test-fragile", version="1", axes={"x": list(range(count))}
+    )
+
+
+def cache_entries(root):
+    return sorted(
+        path
+        for path in root.rglob("*.json")
+        if "_quarantine" not in path.parts
+    )
+
+
+class TestResolveRetryPolicy:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv(MAX_RETRIES_ENV, raising=False)
+        monkeypatch.delenv(TRIAL_TIMEOUT_ENV, raising=False)
+        policy = resolve_retry_policy()
+        assert policy == RetryPolicy(max_retries=0, trial_timeout=None)
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv(MAX_RETRIES_ENV, "3")
+        monkeypatch.setenv(TRIAL_TIMEOUT_ENV, "2.5")
+        policy = resolve_retry_policy()
+        assert policy.max_retries == 3
+        assert policy.trial_timeout == 2.5
+
+    def test_arguments_beat_env(self, monkeypatch):
+        monkeypatch.setenv(MAX_RETRIES_ENV, "3")
+        assert resolve_retry_policy(max_retries=1).max_retries == 1
+
+    @pytest.mark.parametrize("env, value", [(MAX_RETRIES_ENV, "many"), (TRIAL_TIMEOUT_ENV, "soon")])
+    def test_bad_env_rejected(self, monkeypatch, env, value):
+        monkeypatch.setenv(env, value)
+        with pytest.raises(ConfigurationError):
+            resolve_retry_policy()
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_retry_policy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            resolve_retry_policy(trial_timeout=0.0)
+        with pytest.raises(ConfigurationError):
+            resolve_retry_policy(backoff_base=-0.1)
+
+
+class TestRetries:
+    def test_transient_fault_is_retried_away(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "trial-error:trials=2")
+        table = run_experiment(
+            fragile_spec(4), cache=False, max_retries=1, backoff_base=0.0
+        )
+        assert table.column("cube") == [x**3 for x in range(4)]
+        assert table.meta["retried"] == 1
+        assert table.meta["failed"] == 0
+
+    def test_exhausted_retries_raise_naming_the_offender(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "trial-error:trials=2")
+        with pytest.raises(ExperimentFailure) as excinfo:
+            run_experiment(
+                fragile_spec(4), cache=False, max_retries=0, backoff_base=0.0
+            )
+        message = str(excinfo.value)
+        assert "trial 2" in message
+        assert "'x': 2" in message
+        assert "InjectedFault" in message
+        (failure,) = excinfo.value.failures
+        assert failure.index == 2
+        assert failure.params == {"x": 2}
+        assert failure.attempts == 1
+
+    def test_on_failure_report_returns_partial_table(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "trial-error:trials=1")
+        table = run_experiment(
+            fragile_spec(4),
+            cache=False,
+            max_retries=0,
+            backoff_base=0.0,
+            on_failure="report",
+        )
+        assert len(table) == 3
+        assert table.meta["failed"] == 1
+        assert table.meta["failures"][0]["index"] == 1
+        assert table.column("x") == [0, 2, 3]
+
+    def test_bad_on_failure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment(fragile_spec(1), cache=False, on_failure="ignore")
+
+
+class TestDeadlines:
+    def test_hung_trial_is_killed_and_reported(self):
+        spec = ExperimentSpec(
+            name="test-sleepy", version="1", axes={"sleep": [0.01, 30.0]}
+        )
+        started = time.perf_counter()
+        with pytest.raises(ExperimentFailure) as excinfo:
+            run_experiment(spec, cache=False, trial_timeout=0.3, backoff_base=0.0)
+        assert time.perf_counter() - started < 10.0
+        (failure,) = excinfo.value.failures
+        assert failure.error_type == "TrialTimeout"
+        assert "deadline" in failure.message
+
+    def test_injected_hang_recovers_on_retry(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "trial-hang:trials=1,seconds=30")
+        spec = ExperimentSpec(
+            name="test-sleepy", version="1", axes={"sleep": [0.01, 0.01]}
+        )
+        table = run_experiment(
+            spec,
+            cache=False,
+            trial_timeout=0.5,
+            max_retries=1,
+            backoff_base=0.0,
+        )
+        assert len(table) == 2
+        assert table.meta["retried"] == 1
+
+
+class TestParallelIsolation:
+    """Satellite: a raising trial under jobs>1 must not poison the sweep."""
+
+    def test_failure_preserves_completed_rows_and_names_the_trial(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(BOOM_ENV, "3")
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ExperimentFailure) as excinfo:
+            run_experiment(fragile_spec(8), jobs=2, cache=cache)
+        message = str(excinfo.value)
+        assert "trial 3" in message
+        assert "'x': 3" in message
+        assert "ValueError" in message
+        # Every other trial completed and was checkpointed despite sharing
+        # chunks (and a process pool) with the poisoned one.
+        assert len(cache_entries(tmp_path)) == 7
+
+    def test_resume_after_fixing_the_fault_is_byte_identical(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(BOOM_ENV, "3")
+        cache = ResultCache(tmp_path)
+        with pytest.raises(ExperimentFailure):
+            run_experiment(fragile_spec(8), jobs=2, cache=cache)
+        monkeypatch.delenv(BOOM_ENV)
+        resumed = run_experiment(fragile_spec(8), cache=cache, resume=True)
+        assert resumed.meta["cached"] == 7
+        assert resumed.meta["executed"] == 1
+        clean = run_experiment(fragile_spec(8), cache=False)
+        assert resumed.to_json() == clean.to_json()
+
+
+class TestWorkerCrash:
+    def test_killed_worker_is_redispatched(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "worker-kill:trials=3")
+        table = run_experiment(fragile_spec(6), jobs=2, cache=False)
+        clean = run_experiment(fragile_spec(6), cache=False)
+        assert table.to_json() == clean.to_json()
+
+    def test_deterministic_crasher_is_isolated_and_named(self, monkeypatch):
+        # Kill the worker on every dispatch attempt: re-dispatch cannot save
+        # trial 3, so it must be split off, named, and surfaced — while the
+        # other five trials still complete.
+        monkeypatch.setenv(
+            FAULTS_ENV,
+            "worker-kill:trials=3;worker-kill:trials=3,attempt=1;"
+            "worker-kill:trials=3,attempt=2",
+        )
+        table = run_experiment(
+            fragile_spec(6), jobs=2, cache=False, on_failure="report"
+        )
+        assert len(table) == 5
+        assert table.meta["failed"] == 1
+        (failure,) = table.meta["failures"]
+        assert failure["index"] == 3
+        assert failure["error_type"] == "WorkerCrash"
+
+
+class TestInterruptAndResume:
+    """Satellite: SIGINT mid-sweep loses nothing that was checkpointed."""
+
+    def test_checkpoints_survive_and_resume_is_byte_identical(
+        self, monkeypatch, tmp_path
+    ):
+        cache = ResultCache(tmp_path)
+        monkeypatch.setenv(FAULTS_ENV, "interrupt:trials=4")
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment(fragile_spec(8), cache=cache)
+        # Trials 0-3 completed before the interrupt and were checkpointed.
+        assert len(cache_entries(tmp_path)) == 4
+
+        monkeypatch.delenv(FAULTS_ENV)
+        resumed = run_experiment(fragile_spec(8), cache=cache, resume=True)
+        assert resumed.meta["cached"] == 4
+        assert resumed.meta["executed"] == 4
+        clean = run_experiment(fragile_spec(8), cache=False)
+        assert resumed.to_json() == clean.to_json()
+
+    def test_resume_requires_the_cache(self):
+        with pytest.raises(ConfigurationError, match="resume"):
+            run_experiment(fragile_spec(2), cache=False, resume=True)
+
+
+class TestCheckpointWriteFailures:
+    def test_failed_checkpoint_writes_do_not_abort_the_sweep(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(FAULTS_ENV, "write-fail:p=1")
+        table = run_experiment(fragile_spec(4), cache=ResultCache(tmp_path))
+        assert len(table) == 4
+        assert table.meta["checkpoint_errors"] == 4
+        assert cache_entries(tmp_path) == []

@@ -1,0 +1,177 @@
+"""Crash-consistency tests for the result cache and simulation block store.
+
+Satellite contract: a corrupt or truncated store entry — torn write, bit
+rot, injected fault — is healed on read (quarantined + reported as a miss),
+never a crash or a permanently wedged key, and ``verify()`` accounts for
+every entry.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.cache import (
+    QUARANTINE_DIR,
+    ResultCache,
+    SimulationBlockStore,
+    atomic_write_json,
+    row_checksum,
+)
+from repro.faults import FAULTS_ENV
+
+ROW = {"cycles": 1234, "engine": "VEGETA-S-16-2", "utilization": 0.875}
+KEY = "ab" + "0" * 62
+
+
+def quarantined_files(root):
+    quarantine = Path(root) / QUARANTINE_DIR
+    return sorted(quarantine.rglob("*.bad")) if quarantine.exists() else []
+
+
+class TestEnvelope:
+    def test_entries_are_checksummed_envelopes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("demo", KEY, ROW)
+        entry = json.loads(cache.path_for("demo", KEY).read_text())
+        assert set(entry) == {"sha256", "row"}
+        assert entry["row"] == ROW
+        assert entry["sha256"] == row_checksum(ROW)
+
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("demo", KEY, ROW)
+        assert cache.get("demo", KEY) == ROW
+
+    def test_missing_entry_is_a_plain_miss_without_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("demo", KEY) is None
+        assert quarantined_files(tmp_path) == []
+
+
+class TestHealing:
+    @settings(max_examples=30, deadline=None)
+    @given(offset=st.integers(min_value=0, max_value=10_000))
+    def test_truncation_at_any_offset_is_healed(self, offset):
+        # Satellite regression: an entry truncated at an arbitrary byte
+        # offset (a torn write) must read as a miss, be quarantined, and be
+        # cleanly replaceable by the recomputed payload.
+        with tempfile.TemporaryDirectory() as tmp:
+            store = SimulationBlockStore(ResultCache(tmp))
+            store.put(KEY, ROW)
+            path = Path(tmp) / "simblocks" / KEY[:2] / f"{KEY}.json"
+            data = path.read_bytes()
+            path.write_bytes(data[: min(offset, len(data) - 1)])
+
+            assert store.get(KEY) is None
+            assert not path.exists()
+            assert len(quarantined_files(tmp)) == 1
+
+            store.put(KEY, ROW)
+            assert store.get(KEY) == ROW
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("demo", KEY, ROW)
+        path = cache.path_for("demo", KEY)
+        entry = json.loads(path.read_text())
+        entry["row"]["cycles"] += 1  # bit rot: valid JSON, stale checksum
+        path.write_text(json.dumps(entry))
+        assert cache.get("demo", KEY) is None
+        assert not path.exists()
+        assert len(quarantined_files(tmp_path)) == 1
+
+    def test_legacy_non_envelope_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for("demo", KEY)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps(ROW))  # pre-envelope format: a bare row
+        assert cache.get("demo", KEY) is None
+        assert len(quarantined_files(tmp_path)) == 1
+
+    def test_repeated_corruption_of_one_key_never_collides(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for _ in range(3):
+            cache.put("demo", KEY, ROW)
+            cache.path_for("demo", KEY).write_text("{")
+            assert cache.get("demo", KEY) is None
+        assert len(quarantined_files(tmp_path)) == 3
+
+
+class TestInjectedStoreFaults:
+    def test_write_fail_fault_raises_from_result_cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(FAULTS_ENV, "write-fail:p=1")
+        cache = ResultCache(tmp_path)
+        with pytest.raises(OSError):
+            cache.put("demo", KEY, ROW)
+        assert cache.get("demo", KEY) is None
+
+    def test_block_store_put_swallows_write_faults(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(FAULTS_ENV, "write-fail:p=1")
+        store = SimulationBlockStore(ResultCache(tmp_path))
+        store.put(KEY, ROW)  # must not raise: the store is a pure cache
+        assert store.get(KEY) is None
+
+    def test_corrupt_entry_fault_truncates_and_read_heals(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(FAULTS_ENV, "corrupt-entry:p=1")
+        cache = ResultCache(tmp_path)
+        cache.put("demo", KEY, ROW)
+        monkeypatch.delenv(FAULTS_ENV)
+        assert cache.get("demo", KEY) is None  # healed: quarantine + miss
+        cache.put("demo", KEY, ROW)
+        assert cache.get("demo", KEY) == ROW
+
+
+class TestVerify:
+    def test_accounts_per_namespace_and_quarantines(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        keys = [f"{i:02d}" + "0" * 62 for i in range(4)]
+        cache.put("alpha", keys[0], ROW)
+        cache.put("alpha", keys[1], ROW)
+        cache.put("simblocks", keys[2], ROW)
+        cache.put("simblocks", keys[3], ROW)
+        cache.path_for("alpha", keys[1]).write_text("torn")
+        cache.path_for("simblocks", keys[3]).write_text("{}")
+
+        report = cache.verify()
+        assert report["verified"] == 2
+        assert report["quarantined"] == 2
+        assert report["namespaces"]["alpha"] == {"verified": 1, "quarantined": 1}
+        assert report["namespaces"]["simblocks"] == {"verified": 1, "quarantined": 1}
+        assert report["quarantine_files"] == 2
+
+        # A second pass finds nothing new but still counts the quarantine.
+        again = cache.verify()
+        assert again["quarantined"] == 0
+        assert again["verified"] == 2
+        assert again["quarantine_files"] == 2
+
+    def test_empty_root(self, tmp_path):
+        report = ResultCache(tmp_path / "never").verify()
+        assert report == {
+            "verified": 0,
+            "quarantined": 0,
+            "namespaces": {},
+            "quarantine_files": 0,
+        }
+
+
+class TestAtomicWrite:
+    def test_failure_leaves_no_temp_debris_or_partial_target(self, tmp_path):
+        target = tmp_path / "entry.json"
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"bad": {1, 2, 3}})  # sets aren't JSON
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        target = tmp_path / "entry.json"
+        atomic_write_json(target, {"v": 1})
+        atomic_write_json(target, {"v": 2})
+        assert json.loads(target.read_text()) == {"v": 2}
+        assert list(tmp_path.glob("*.tmp")) == []

@@ -1,0 +1,165 @@
+"""The chaos harness contract, pinned on a tiny registered experiment.
+
+The tentpole property: under *any* injected fault schedule the final table
+is bit-identical to a clean run, or the failure is loudly reported as an
+:class:`~repro.errors.ExperimentFailure` naming the offending trials.
+"""
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.__main__ import main
+from repro.errors import ExperimentFailure
+from repro.experiments.registry import register_experiment, trial_runner
+from repro.experiments.runner import run_named
+from repro.experiments.spec import ExperimentSpec
+from repro.faults import FAULTS_ENV
+from repro.faults.chaos import default_fault_spec, interrupt_fault_spec, run_chaos
+
+TRIALS = 6
+
+
+@trial_runner("chaos-demo")
+def _demo(params):
+    x = params["x"]
+    return {"x": x, "poly": x**3 - 2 * x + 1}
+
+
+@register_experiment("chaos-demo", "tiny deterministic sweep for chaos tests")
+def _build(options):
+    return ExperimentSpec(
+        name="chaos-demo", version="1", axes={"x": list(range(TRIALS))}
+    )
+
+
+def run_demo(cache_root, *, faults=None, max_retries=0, resume=False, jobs=None):
+    saved = os.environ.get(FAULTS_ENV)
+    try:
+        if faults is None:
+            os.environ.pop(FAULTS_ENV, None)
+        else:
+            os.environ[FAULTS_ENV] = faults
+        return run_named(
+            "chaos-demo",
+            {},
+            jobs=jobs,
+            cache_root=cache_root,
+            max_retries=max_retries,
+            backoff_base=0.0,
+            resume=resume,
+        )
+    finally:
+        if saved is None:
+            os.environ.pop(FAULTS_ENV, None)
+        else:
+            os.environ[FAULTS_ENV] = saved
+
+
+REFERENCE = None
+
+
+def reference_json():
+    global REFERENCE
+    if REFERENCE is None:
+        with tempfile.TemporaryDirectory() as tmp:
+            REFERENCE = run_demo(tmp).to_json()
+    return REFERENCE
+
+
+class TestFaultScheduleProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        error_trials=st.sets(st.integers(0, TRIALS - 1), max_size=3),
+        max_retries=st.integers(0, 2),
+        corrupt_p=st.sampled_from([0.0, 0.5, 1.0]),
+        write_fail_p=st.sampled_from([0.0, 0.5, 1.0]),
+    )
+    def test_bit_identical_or_loudly_reported(
+        self, seed, error_trials, max_retries, corrupt_p, write_fail_p
+    ):
+        parts = [f"seed={seed}"]
+        if error_trials:
+            parts.append(
+                "trial-error:trials=" + "/".join(str(t) for t in sorted(error_trials))
+            )
+        parts.append(f"corrupt-entry:p={corrupt_p}")
+        parts.append(f"write-fail:p={write_fail_p}")
+        spec = ";".join(parts)
+
+        with tempfile.TemporaryDirectory() as tmp:
+            # Injected trial errors fire on attempt 0 only, so any retry
+            # budget absorbs them; with no budget they must surface loudly.
+            if error_trials and max_retries == 0:
+                with pytest.raises(ExperimentFailure) as excinfo:
+                    run_demo(tmp, faults=spec, max_retries=0)
+                message = str(excinfo.value)
+                for trial in error_trials:
+                    assert f"trial {trial} " in message
+                reported = {f.index for f in excinfo.value.failures}
+                assert reported == error_trials
+            else:
+                table = run_demo(tmp, faults=spec, max_retries=max_retries)
+                assert table.to_json() == reference_json()
+                assert table.meta["retried"] == len(error_trials)
+
+
+class TestRunChaos:
+    def test_all_legs_byte_identical(self):
+        report = run_chaos("chaos-demo", {}, seed=0)
+        assert report["ok"], report
+        assert report["trials"] == TRIALS
+        assert [leg["leg"] for leg in report["legs"]] == [
+            "clean",
+            "faulted",
+            "interrupted+resumed",
+        ]
+        clean, faulted, resumed = report["legs"]
+        assert faulted["identical"] and resumed["identical"]
+        # The default schedule injects two transient trial errors, which the
+        # faulted leg retries away.
+        assert faulted["retried"] == 2
+        # The interrupt fires at trial TRIALS//2, so exactly that many rows
+        # were checkpointed and served back on resume.
+        assert resumed["interrupted"]
+        assert resumed["checkpointed"] == TRIALS // 2
+        assert resumed["cached"] == TRIALS // 2
+
+    def test_schedules_are_pure_functions_of_the_seed(self):
+        assert default_fault_spec(0, TRIALS) == default_fault_spec(0, TRIALS)
+        assert default_fault_spec(0, TRIALS) != default_fault_spec(1, TRIALS)
+        assert interrupt_fault_spec(3, TRIALS) == f"seed=3;interrupt:trials={TRIALS // 2}"
+        report = run_chaos("chaos-demo", {}, seed=0)
+        assert report["fault_spec"] == default_fault_spec(0, TRIALS)
+
+    def test_explicit_spec_override(self):
+        spec = "seed=1;trial-error:trials=0"
+        report = run_chaos("chaos-demo", {}, seed=1, fault_spec=spec)
+        assert report["ok"], report
+        assert report["fault_spec"] == spec
+
+
+class TestChaosCli:
+    def test_chaos_subcommand_reports_byte_identity(self, capsys):
+        assert main(["chaos", "chaos-demo", "--seed", "0"]) == 0
+        captured = capsys.readouterr()
+        assert "fault spec:" in captured.out
+        assert "interrupted+resumed" in captured.out
+        assert "byte-for-byte" in captured.err
+
+    def test_chaos_spec_override_and_jobs(self, capsys):
+        argv = [
+            "chaos", "chaos-demo",
+            "--spec", "seed=2;trial-error:trials=1",
+            "--jobs", "1",
+        ]
+        assert main(argv) == 0
+        assert "trial-error:trials=1" in capsys.readouterr().out
+
+    def test_chaos_unknown_experiment_is_an_error(self, capsys):
+        assert main(["chaos", "no-such-figure"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,123 @@
+"""Tests for the ``REPRO_FAULTS`` spec grammar and fault plan decisions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FAULTS_ENV,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    parse_fault_spec,
+)
+
+
+class TestGrammar:
+    def test_empty_entries_are_skipped(self):
+        plan = parse_fault_spec(";;seed=3;;")
+        assert plan.seed == 3
+        assert plan.rules == ()
+
+    def test_full_spec_round_trip(self):
+        plan = parse_fault_spec(
+            "seed=7;trial-error:trials=1/4;worker-kill:trials=2;"
+            "corrupt-entry:p=0.5;write-fail:p=0.25;trial-hang:trials=3,seconds=0.1"
+        )
+        assert plan.seed == 7
+        kinds = [rule.kind for rule in plan.rules]
+        assert kinds == [
+            "trial-error",
+            "worker-kill",
+            "corrupt-entry",
+            "write-fail",
+            "trial-hang",
+        ]
+        assert plan.rules[0].trials == (1, 4)
+        assert plan.rules[2].p == 0.5
+        assert plan.rules[4].seconds == 0.1
+
+    def test_trials_are_deduplicated_and_sorted(self):
+        plan = parse_fault_spec("trial-error:trials=5/1/5")
+        assert plan.rules[0].trials == (1, 5)
+
+    def test_attempt_field(self):
+        plan = parse_fault_spec("trial-error:trials=0,attempt=2")
+        assert plan.rules[0].attempt == 2
+
+    @pytest.mark.parametrize(
+        "spec, fragment",
+        [
+            ("explode:trials=1", "unknown fault kind"),
+            ("trial-error", "needs either trials= or p="),
+            ("trial-error:trials=x", "bad value"),
+            ("trial-error:p=1.5", "bad value"),
+            ("trial-error:p=-0.1", "bad value"),
+            ("trial-error:trials=1,attempt=-1", "bad value"),
+            ("trial-hang:trials=1,seconds=-2", "bad value"),
+            ("trial-error:bogus=1", "unknown field"),
+            ("trial-error:trials", "expected key=value"),
+            ("seed=many", "seed must be an integer"),
+        ],
+    )
+    def test_bad_specs_rejected_with_context(self, spec, fragment):
+        with pytest.raises(ConfigurationError, match=fragment):
+            parse_fault_spec(spec)
+
+
+class TestDecisions:
+    def test_explicit_trials_fire_exactly_once_per_attempt(self):
+        plan = parse_fault_spec("trial-error:trials=2/5")
+        assert plan.fires("trial-error", 2, attempt=0)
+        assert plan.fires("trial-error", 5, attempt=0)
+        assert plan.fires("trial-error", 2, attempt=1) is None
+        assert plan.fires("trial-error", 3, attempt=0) is None
+        assert plan.fires("worker-kill", 2, attempt=0) is None
+
+    def test_probability_extremes(self):
+        always = FaultPlan(seed=0, rules=(FaultRule("corrupt-entry", p=1.0),))
+        never = FaultPlan(seed=0, rules=(FaultRule("corrupt-entry", p=0.0),))
+        assert always.fires("corrupt-entry", "demo/abc")
+        assert never.fires("corrupt-entry", "demo/abc") is None
+
+    @given(seed=st.integers(0, 2**32), token=st.text(max_size=20))
+    def test_probabilistic_decisions_are_deterministic(self, seed, token):
+        plan = FaultPlan(seed=seed, rules=(FaultRule("write-fail", p=0.5),))
+        first = plan.fires("write-fail", token) is not None
+        assert (plan.fires("write-fail", token) is not None) == first
+        # A different seed decides independently (not necessarily
+        # differently); a different kind never reuses the draw.
+        assert plan.fires("corrupt-entry", token) is None
+
+    @given(seed=st.integers(0, 2**32))
+    def test_probability_half_hits_roughly_half_of_tokens(self, seed):
+        plan = FaultPlan(seed=seed, rules=(FaultRule("write-fail", p=0.5),))
+        hits = sum(
+            1 for token in range(200) if plan.fires("write-fail", f"k{token}")
+        )
+        assert 40 <= hits <= 160
+
+
+class TestActivePlan:
+    def test_absent_env_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert active_plan() is None
+
+    def test_env_spec_is_parsed_and_memoized(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "seed=9;trial-error:trials=1")
+        plan = active_plan()
+        assert plan is not None and plan.seed == 9
+        assert active_plan() is plan
+
+    def test_env_change_switches_plans(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "seed=1;trial-error:trials=1")
+        first = active_plan()
+        monkeypatch.setenv(FAULTS_ENV, "seed=2;trial-error:trials=1")
+        second = active_plan()
+        assert first.seed == 1 and second.seed == 2
+
+    def test_bad_env_spec_raises_configuration_error(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "nonsense")
+        with pytest.raises(ConfigurationError):
+            active_plan()
